@@ -1,0 +1,442 @@
+// Package bufsim is a discrete-event TCP network simulator and analytical
+// toolkit reproducing "Sizing Router Buffers" (Appenzeller, Keslassy,
+// McKeown — SIGCOMM 2004).
+//
+// The paper's result: a bottleneck link of capacity C carrying n
+// desynchronized long-lived TCP flows needs only
+//
+//	B = RTT x C / sqrt(n)
+//
+// of buffering — not the classical rule-of-thumb B = RTT x C — to stay at
+// near-full utilization; and short, slow-start-only flows need a small
+// buffer that depends only on offered load and burst sizes, independent of
+// the line rate.
+//
+// Three entry points:
+//
+//   - Sizing rules and analytic models on a Link description:
+//     Link{...}.RuleOfThumb(), Link{...}.SqrtRule(n),
+//     Link{...}.PredictUtilization(n, buffer),
+//     Link{...}.ShortFlowBuffer(load, pDrop, flowLen, maxWindow).
+//
+//   - Packet-level simulation: Simulate (many long-lived flows, with
+//     Reno/NewReno/SACK/Tahoe, pacing, RED and delayed-ACK switches),
+//     SimulateSingleFlow (the classic sawtooth, with time series),
+//     SimulateShortFlows (Poisson short flows, flow-completion times),
+//     SimulateMix (long + short flows competing, the Fig. 9 trade), and
+//     SimulateTrace (replay a recorded flow trace).
+//
+//   - Full paper reproduction: the internal/experiment package drives
+//     every figure and table; cmd/paperexp exposes them on the command
+//     line and bench_test.go regenerates them as Go benchmarks.
+package bufsim
+
+import (
+	"bufsim/internal/experiment"
+	"bufsim/internal/model"
+	"bufsim/internal/tcp"
+	"bufsim/internal/units"
+	"bufsim/internal/workload"
+	"io"
+)
+
+// Variant selects the TCP congestion-control flavour for simulations.
+type Variant = tcp.Variant
+
+// Congestion-control variants.
+const (
+	Reno    = tcp.Reno
+	Tahoe   = tcp.Tahoe
+	NewReno = tcp.NewReno
+	Sack    = tcp.Sack
+)
+
+// Re-exported quantity types, so callers need no internal imports.
+type (
+	// Duration is simulated time in nanoseconds.
+	Duration = units.Duration
+	// Time is an absolute simulated instant in nanoseconds.
+	Time = units.Time
+	// BitRate is bits per second.
+	BitRate = units.BitRate
+	// ByteSize is a size in bytes.
+	ByteSize = units.ByteSize
+)
+
+// Re-exported unit constants.
+const (
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+	OC3  = units.OC3
+	OC12 = units.OC12
+	OC48 = units.OC48
+
+	Byte     = units.Byte
+	Kilobyte = units.Kilobyte
+	Megabyte = units.Megabyte
+)
+
+// ParseDuration parses "250ms", "2.5s", "80us", "10ns".
+func ParseDuration(s string) (Duration, error) { return units.ParseDuration(s) }
+
+// ParseBitRate parses "155Mbps", "2.5Gbps", "56Kbps".
+func ParseBitRate(s string) (BitRate, error) { return units.ParseBitRate(s) }
+
+// Link describes a bottleneck link for buffer sizing. RTT is the mean
+// two-way propagation delay of the flows crossing it (the paper's
+// RTT-bar), SegmentSize the packet size buffers are counted in.
+type Link struct {
+	Rate        BitRate
+	RTT         Duration
+	SegmentSize ByteSize // defaults to 1000 bytes
+}
+
+func (l Link) segment() ByteSize {
+	if l.SegmentSize == 0 {
+		return 1000
+	}
+	return l.SegmentSize
+}
+
+// BDP returns the link's bandwidth-delay product in packets.
+func (l Link) BDP() int {
+	return units.PacketsInFlight(l.Rate, l.RTT, l.segment())
+}
+
+// RuleOfThumb returns the classical B = RTT x C buffer in packets.
+func (l Link) RuleOfThumb() int {
+	return model.RuleOfThumbPackets(l.RTT, l.Rate, l.segment())
+}
+
+// SqrtRule returns the paper's B = RTT x C / sqrt(n) buffer in packets for
+// n concurrent long-lived flows.
+func (l Link) SqrtRule(n int) int {
+	return model.SqrtRulePackets(l.RTT, l.Rate, l.segment(), n)
+}
+
+// PredictUtilization returns the Gaussian-model utilization estimate for a
+// buffer of bufferPkts packets shared by n long-lived flows.
+func (l Link) PredictUtilization(n, bufferPkts int) float64 {
+	g := model.LongFlowGaussian{N: n, BDP: float64(l.BDP())}
+	return g.Utilization(float64(bufferPkts))
+}
+
+// ShortFlowBuffer returns the §4 M/G/1 bound: the buffer (packets) that
+// keeps short-flow drop probability at or below pDrop when flows of
+// flowLen segments (slow start, window capped at maxWindow) offer the
+// given load. Note the result does not depend on the link at all — that
+// is the paper's point — so this is a plain function dressed as a method
+// for discoverability.
+func (Link) ShortFlowBuffer(load, pDrop float64, flowLen int64, maxWindow int) float64 {
+	m := model.MomentsForFlowLength(flowLen, 2, maxWindow)
+	return m.MinBuffer(load, pDrop)
+}
+
+// ShortFlowBufferForSizes is ShortFlowBuffer for an empirical flow-size
+// sample (e.g. the sizes from a recorded trace) instead of a single
+// length: burst moments are pooled across the sample, so heavy-tailed
+// mixes — whose large flows emit many max-window bursts — get the larger
+// buffer they actually need.
+func (Link) ShortFlowBufferForSizes(load, pDrop float64, sizes []int64, maxWindow int) float64 {
+	dist := make(map[int64]float64, len(sizes))
+	w := 1 / float64(len(sizes))
+	for _, s := range sizes {
+		dist[s] += w
+	}
+	m := model.MomentsForDistribution(dist, 2, maxWindow)
+	return m.MinBuffer(load, pDrop)
+}
+
+// Simulation is the configuration for Simulate: n long-lived TCP Reno
+// flows sharing a drop-tail bottleneck.
+type Simulation struct {
+	Seed int64
+
+	Link          Link
+	Flows         int
+	BufferPackets int
+
+	// RTTSpread widens the per-flow RTTs to [RTT-RTTSpread/2,
+	// RTT+RTTSpread/2]; heterogeneous RTTs are what desynchronize flows.
+	RTTSpread Duration
+
+	// Warmup and Measure default to 20 s and 40 s.
+	Warmup, Measure Duration
+
+	// RED switches the bottleneck to Random Early Detection.
+	RED bool
+	// Variant selects the congestion-control flavour (default Reno, the
+	// paper's choice).
+	Variant Variant
+	// Paced spreads each sender's transmissions across the RTT instead
+	// of ACK-clocked bursts.
+	Paced bool
+	// DelayedAck acknowledges every second segment, as modern receivers
+	// do.
+	DelayedAck bool
+}
+
+// Result summarizes a Simulate run.
+type Result struct {
+	Utilization        float64
+	LossRate           float64
+	MeanQueuePackets   float64
+	RetransmitFraction float64
+	Timeouts           int64
+	// QueueDelayMean / QueueDelayP99 are per-packet bottleneck queueing
+	// delays: the latency the buffer costs.
+	QueueDelayMean Duration
+	QueueDelayP99  Duration
+	// Fairness is Jain's index over per-flow throughputs.
+	Fairness float64
+}
+
+// Simulate runs the long-lived-flow scenario and reports utilization. It
+// is the programmatic version of "would this buffer keep my link busy?".
+func Simulate(cfg Simulation) Result {
+	rttMin := cfg.Link.RTT - cfg.RTTSpread/2
+	rttMax := cfg.Link.RTT + cfg.RTTSpread/2
+	r := experiment.RunLongLived(experiment.LongLivedConfig{
+		Seed:           cfg.Seed,
+		N:              cfg.Flows,
+		BottleneckRate: cfg.Link.Rate,
+		RTTMin:         rttMin,
+		RTTMax:         rttMax,
+		SegmentSize:    cfg.Link.segment(),
+		BufferPackets:  cfg.BufferPackets,
+		UseRED:         cfg.RED,
+		Variant:        cfg.Variant,
+		Paced:          cfg.Paced,
+		DelayedAck:     cfg.DelayedAck,
+		Warmup:         cfg.Warmup,
+		Measure:        cfg.Measure,
+	})
+	return Result{
+		Utilization:        r.Utilization,
+		LossRate:           r.LossRate,
+		MeanQueuePackets:   r.MeanQueue,
+		RetransmitFraction: r.RetransmitFraction,
+		Timeouts:           r.Timeouts,
+		QueueDelayMean:     r.QueueDelayMean,
+		QueueDelayP99:      r.QueueDelayP99,
+		Fairness:           r.Fairness,
+	}
+}
+
+// SingleFlowResult is the outcome of SimulateSingleFlow: summary metrics
+// plus the cwnd and queue time series of Figs. 2-5 (times in seconds).
+type SingleFlowResult struct {
+	BDPPackets    int
+	BufferPackets int
+	Utilization   float64
+	MeanQueue     float64
+	MinQueueSeen  float64
+	CwndTimes     []float64
+	CwndValues    []float64
+	QueueTimes    []float64
+	QueueValues   []float64
+}
+
+// SimulateSingleFlow runs one long-lived flow with the buffer set to
+// bufferFactor x (RTT x C): 1.0 reproduces Fig. 3, less Fig. 4, more
+// Fig. 5.
+func SimulateSingleFlow(link Link, bufferFactor float64, seed int64) SingleFlowResult {
+	r := experiment.RunSingleFlow(experiment.SingleFlowConfig{
+		BottleneckRate: link.Rate,
+		RTT:            link.RTT,
+		SegmentSize:    link.segment(),
+		BufferFactor:   bufferFactor,
+	})
+	return SingleFlowResult{
+		BDPPackets:    r.BDPPackets,
+		BufferPackets: r.BufferPackets,
+		Utilization:   r.Utilization,
+		MeanQueue:     r.MeanQueue,
+		MinQueueSeen:  r.MinQueueSeen,
+		CwndTimes:     r.Cwnd.Times,
+		CwndValues:    r.Cwnd.Values,
+		QueueTimes:    r.Queue.Times,
+		QueueValues:   r.Queue.Values,
+	}
+}
+
+// ShortFlowSimulation configures SimulateShortFlows.
+type ShortFlowSimulation struct {
+	Seed int64
+
+	Link          Link
+	BufferPackets int // 0 means unlimited (the paper's baseline)
+	Load          float64
+	FlowLength    int64 // segments per flow
+	MaxWindow     int   // receiver window cap (default 43)
+
+	Warmup, Measure Duration
+}
+
+// ShortFlowResult summarizes SimulateShortFlows.
+type ShortFlowResult struct {
+	AFCT      Duration
+	Completed int
+	Censored  int
+}
+
+// SimulateShortFlows runs Poisson arrivals of fixed-size slow-start flows
+// and reports the average flow completion time — the §4/§5.1.2 metric.
+func SimulateShortFlows(cfg ShortFlowSimulation) ShortFlowResult {
+	afct, completed, censored := experiment.ShortFlowAFCT(experiment.ShortFlowRunConfig{
+		Seed:          cfg.Seed,
+		Rate:          cfg.Link.Rate,
+		MeanRTT:       cfg.Link.RTT,
+		SegmentSize:   cfg.Link.segment(),
+		BufferPackets: cfg.BufferPackets,
+		Load:          cfg.Load,
+		FlowLength:    cfg.FlowLength,
+		MaxWindow:     cfg.MaxWindow,
+		Warmup:        cfg.Warmup,
+		Measure:       cfg.Measure,
+	})
+	return ShortFlowResult{AFCT: afct, Completed: completed, Censored: censored}
+}
+
+// MixSimulation configures SimulateMix: long-lived flows competing with
+// Poisson short flows over a single bottleneck — the paper's §5.1.3 mixed
+// workload, at one explicit buffer size.
+type MixSimulation struct {
+	Seed int64
+
+	Link          Link
+	LongFlows     int
+	ShortLoad     float64           // bottleneck load offered by short flows
+	ShortSizes    workload.SizeDist // nil: geometric with mean 14 segments
+	MaxWindow     int               // short flows' receiver cap (default 43)
+	BufferPackets int
+
+	RTTSpread       Duration
+	Warmup, Measure Duration
+}
+
+// MixResult summarizes SimulateMix.
+type MixResult struct {
+	AFCT            Duration // short flows' average completion time
+	ShortsCompleted int
+	Utilization     float64
+	MeanQueue       float64
+}
+
+// SimulateMix runs the mixed long/short workload and reports the short
+// flows' completion time alongside link utilization — the trade Fig. 9
+// explores: smaller buffers keep utilization while completing short flows
+// faster.
+func SimulateMix(cfg MixSimulation) MixResult {
+	sizes := cfg.ShortSizes
+	if sizes == nil {
+		sizes = workload.GeometricSize(14)
+	}
+	out := experiment.RunMixed(experiment.MixedConfig{
+		Seed:           cfg.Seed,
+		NLong:          cfg.LongFlows,
+		ShortLoad:      cfg.ShortLoad,
+		Sizes:          sizes,
+		BottleneckRate: cfg.Link.Rate,
+		RTTMin:         cfg.Link.RTT - cfg.RTTSpread/2,
+		RTTMax:         cfg.Link.RTT + cfg.RTTSpread/2,
+		SegmentSize:    cfg.Link.segment(),
+		MaxWindow:      cfg.MaxWindow,
+		BufferPackets:  cfg.BufferPackets,
+		Warmup:         cfg.Warmup,
+		Measure:        cfg.Measure,
+	})
+	return MixResult{
+		AFCT:            out.AFCT,
+		ShortsCompleted: out.Completed,
+		Utilization:     out.Utilization,
+		MeanQueue:       out.MeanQueue,
+	}
+}
+
+// TraceFlow is one recorded flow for SimulateTrace: when it starts
+// (relative to the simulation start) and its size in segments.
+type TraceFlow = workload.FlowSpec
+
+// ParseTrace reads a "start_seconds,size_segments" CSV of flows (comments
+// and a header line tolerated), for replay with SimulateTrace.
+func ParseTrace(r io.Reader) ([]TraceFlow, error) { return workload.ParseTrace(r) }
+
+// TraceSimulation configures SimulateTrace: replay recorded flows over a
+// bottleneck with a given buffer.
+type TraceSimulation struct {
+	Seed int64
+
+	Link          Link
+	Flows         []TraceFlow
+	BufferPackets int // 0 = unlimited
+	MaxWindow     int
+	RTTSpread     Duration
+}
+
+// TraceResult summarizes a replayed trace.
+type TraceResult struct {
+	Completed   int
+	Censored    int
+	AFCT        Duration
+	Utilization float64
+}
+
+// SimulateTrace replays a recorded flow-level trace (instead of a
+// synthetic arrival process) and reports completion statistics — the
+// entry point for driving the simulator with real measurement data.
+func SimulateTrace(cfg TraceSimulation) TraceResult {
+	r := experiment.RunTrace(experiment.TraceConfig{
+		Seed:           cfg.Seed,
+		Flows:          cfg.Flows,
+		BottleneckRate: cfg.Link.Rate,
+		RTTMin:         cfg.Link.RTT - cfg.RTTSpread/2,
+		RTTMax:         cfg.Link.RTT + cfg.RTTSpread/2,
+		SegmentSize:    cfg.Link.segment(),
+		MaxWindow:      cfg.MaxWindow,
+		BufferPackets:  cfg.BufferPackets,
+	})
+	return TraceResult{
+		Completed:   r.Completed,
+		Censored:    r.Censored,
+		AFCT:        r.AFCT,
+		Utilization: r.Utilization,
+	}
+}
+
+// Pareto returns the heavy-tailed flow-size distribution used by the
+// production-mix experiments, exposed for workload construction.
+func Pareto(shape float64, minSeg, maxSeg int64) workload.SizeDist {
+	return workload.ParetoSize{Shape: shape, Min: minSeg, Max: maxSeg}
+}
+
+// Memory is the §1.3 hardware-feasibility verdict for a buffer size: what
+// it takes to build it from 2004-vintage commodity memory. It is how the
+// paper argues the sqrt(n) rule matters — the difference between boards
+// of DRAM and a corner of the packet processor die.
+type Memory struct {
+	SRAMChips   int  // 36 Mbit devices to hold the buffer
+	DRAMChips   int  // 1 Gbit devices to hold the buffer
+	DRAMKeepsUp bool // can 50 ns DRAM sustain per-packet access at this rate?
+	FitsOnChip  bool // fits in a 256 Mbit embedded-DRAM packet processor?
+	Description string
+}
+
+// MemoryFeasibility evaluates a buffer of bufferPkts packets on this link
+// against the paper's memory technologies.
+func (l Link) MemoryFeasibility(bufferPkts int) Memory {
+	f := model.Feasibility(l.Rate, ByteSize(bufferPkts)*l.segment())
+	return Memory{
+		SRAMChips:   f.SRAMChips,
+		DRAMChips:   f.DRAMChips,
+		DRAMKeepsUp: f.DRAMKeepsUp,
+		FitsOnChip:  f.FitsOnChip,
+		Description: f.String(),
+	}
+}

@@ -1,0 +1,90 @@
+// Command bufsearch empirically finds the minimum buffer that meets a
+// utilization target for a given link and flow count, by bisecting over
+// packet-level simulations, and compares the answer against the paper's
+// rules.
+//
+//	bufsearch -rate 155Mbps -rtt 100ms -flows 300 -target 0.995
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bufsim/internal/experiment"
+	"bufsim/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bufsearch: ")
+
+	var (
+		rateStr   = flag.String("rate", "155Mbps", "bottleneck capacity C")
+		rttStr    = flag.String("rtt", "100ms", "mean two-way propagation delay")
+		spreadStr = flag.String("rtt-spread", "40ms", "RTT heterogeneity across flows")
+		flows     = flag.Int("flows", 300, "number of long-lived TCP flows")
+		target    = flag.Float64("target", 0.98, "utilization target in (0,1)")
+		segment   = flag.Int("segment", 1000, "segment size in bytes")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		warmStr   = flag.String("warmup", "15s", "simulated warmup to discard")
+		measStr   = flag.String("measure", "30s", "simulated measurement window")
+	)
+	flag.Parse()
+
+	rate, err := units.ParseBitRate(*rateStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rtt, err := units.ParseDuration(*rttStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spread, err := units.ParseDuration(*spreadStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmup, err := units.ParseDuration(*warmStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := units.ParseDuration(*measStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *target <= 0 || *target >= 1 {
+		log.Fatal("-target must be in (0,1)")
+	}
+	if *flows <= 0 {
+		log.Fatal("-flows must be positive")
+	}
+
+	bdp := units.PacketsInFlight(rate, rtt, units.ByteSize(*segment))
+	sqrtRule := experiment.SqrtRuleBuffer(float64(bdp), *flows)
+	cfg := experiment.LongLivedConfig{
+		Seed:           *seed,
+		N:              *flows,
+		BottleneckRate: rate,
+		RTTMin:         rtt - spread/2,
+		RTTMax:         rtt + spread/2,
+		SegmentSize:    units.ByteSize(*segment),
+		Warmup:         warmup,
+		Measure:        measure,
+	}
+
+	fmt.Printf("searching min buffer for %.1f%% utilization: %v, RTT %v, %d flows\n",
+		100**target, rate, rtt, *flows)
+	fmt.Printf("rule of thumb %d pkts; RTTxC/sqrt(n) %d pkts\n", bdp, sqrtRule)
+	fmt.Printf("each probe simulates %v (+%v warmup)...\n", measure, warmup)
+
+	hi := 2 * bdp
+	min := experiment.MinBufferForUtilization(cfg, *target, hi)
+	util := experiment.MeasuredUtilization(cfg, min)
+
+	fmt.Printf("\nminimum buffer: %d packets (%.2fx the sqrt rule, %.1f%% of rule of thumb)\n",
+		min, float64(min)/float64(sqrtRule), 100*float64(min)/float64(bdp))
+	fmt.Printf("utilization at minimum: %.2f%%\n", 100*util)
+	if min == hi {
+		fmt.Println("warning: target not reached within 2x rule-of-thumb; reporting the bound")
+	}
+}

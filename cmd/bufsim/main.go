@@ -1,0 +1,154 @@
+// Command bufsim runs one buffer-sizing scenario from the command line and
+// prints the sizing rules next to the simulated outcome.
+//
+// Example — the paper's abstract, scaled to simulate quickly:
+//
+//	bufsim -rate 155Mbps -rtt 100ms -flows 400 -buffer-factor 1.0
+//
+// prints the rule-of-thumb and sqrt(n) buffer sizes, the Gaussian model's
+// utilization prediction, and the measured utilization of a packet-level
+// simulation with that buffer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bufsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bufsim: ")
+
+	var (
+		rateStr   = flag.String("rate", "155Mbps", "bottleneck capacity C (e.g. 10Gbps)")
+		rttStr    = flag.String("rtt", "100ms", "mean two-way propagation delay")
+		spreadStr = flag.String("rtt-spread", "80ms", "RTT heterogeneity across flows")
+		flows     = flag.Int("flows", 400, "number of long-lived TCP flows")
+		factor    = flag.Float64("buffer-factor", 1.0, "buffer as a multiple of RTTxC/sqrt(n)")
+		buffer    = flag.Int("buffer", 0, "explicit buffer in packets (overrides -buffer-factor)")
+		segment   = flag.Int("segment", 1000, "segment size in bytes")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		warmStr   = flag.String("warmup", "20s", "simulated warmup to discard")
+		measStr   = flag.String("measure", "40s", "simulated measurement window")
+		red       = flag.Bool("red", false, "use RED instead of drop-tail")
+		variant   = flag.String("variant", "reno", "TCP flavour: reno, newreno, sack, tahoe")
+		paced     = flag.Bool("paced", false, "pace sender transmissions across the RTT")
+		skipSim   = flag.Bool("no-sim", false, "print the sizing rules only")
+		config    = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+	)
+	flag.Parse()
+
+	if *config != "" {
+		sim, link, err := loadScenario(*config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRules(link, sim.Flows, sim.BufferPackets)
+		runAndPrint(link, sim, *skipSim)
+		return
+	}
+
+	rate, err := bufsim.ParseBitRate(*rateStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rtt, err := bufsim.ParseDuration(*rttStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spread, err := bufsim.ParseDuration(*spreadStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmup, err := bufsim.ParseDuration(*warmStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := bufsim.ParseDuration(*measStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *flows <= 0 {
+		log.Fatal("-flows must be positive")
+	}
+
+	var v bufsim.Variant
+	switch *variant {
+	case "reno":
+		v = bufsim.Reno
+	case "newreno":
+		v = bufsim.NewReno
+	case "sack":
+		v = bufsim.Sack
+	case "tahoe":
+		v = bufsim.Tahoe
+	default:
+		log.Fatalf("unknown -variant %q", *variant)
+	}
+
+	link := bufsim.Link{Rate: rate, RTT: rtt, SegmentSize: bufsim.ByteSize(*segment)}
+	b := *buffer
+	if b == 0 {
+		b = int(*factor * float64(link.SqrtRule(*flows)))
+		if b < 1 {
+			b = 1
+		}
+	}
+	printRules(link, *flows, b)
+	runAndPrint(link, bufsim.Simulation{
+		Seed:          *seed,
+		Link:          link,
+		Flows:         *flows,
+		BufferPackets: b,
+		RTTSpread:     spread,
+		Warmup:        warmup,
+		Measure:       measure,
+		RED:           *red,
+		Variant:       v,
+		Paced:         *paced,
+	}, *skipSim)
+}
+
+// printRules shows the sizing rules and hardware verdict for the chosen
+// buffer.
+func printRules(link bufsim.Link, flows, buffer int) {
+	seg := int(link.SegmentSize)
+	if seg == 0 {
+		seg = 1000
+	}
+	rot := link.RuleOfThumb()
+	sqrt := link.SqrtRule(flows)
+	fmt.Printf("link:            %v, RTT %v, %dB segments\n", link.Rate, link.RTT, seg)
+	fmt.Printf("rule of thumb:   %d packets (%.1f Mbit)\n", rot, mbit(rot, seg))
+	fmt.Printf("RTTxC/sqrt(%d): %d packets (%.1f Mbit) — %.1f%% smaller\n",
+		flows, sqrt, mbit(sqrt, seg), 100*(1-float64(sqrt)/float64(rot)))
+	fmt.Printf("chosen buffer:   %d packets (%.1f Mbit)\n", buffer, mbit(buffer, seg))
+	fmt.Printf("hardware:        %s\n", link.MemoryFeasibility(buffer).Description)
+	fmt.Printf("model predicts:  %.2f%% utilization\n", 100*link.PredictUtilization(flows, buffer))
+}
+
+// runAndPrint runs the simulation (unless skipped) and reports.
+func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool) {
+	if skip {
+		return
+	}
+	fmt.Printf("simulating %d %v flows for %v (+%v warmup)...\n",
+		cfg.Flows, cfg.Variant, cfg.Measure, cfg.Warmup)
+	res := bufsim.Simulate(cfg)
+	fmt.Printf("measured:        %.2f%% utilization, %.3f%% loss, mean queue %.0f pkts, %.2f%% retransmits\n",
+		100*res.Utilization, 100*res.LossRate, res.MeanQueuePackets, 100*res.RetransmitFraction)
+	fmt.Printf("queueing delay:  mean %v, P99 %v; fairness %.3f\n",
+		res.QueueDelayMean, res.QueueDelayP99, res.Fairness)
+	if res.Utilization < 0.98 {
+		fmt.Println("note: below 98% utilization — try a larger -buffer-factor or more flows")
+		os.Exit(0)
+	}
+}
+
+func mbit(packets, segBytes int) float64 {
+	return float64(packets) * float64(segBytes) * 8 / 1e6
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bufsim"
+)
+
+// scenarioFile is the JSON schema for -config: the flag set, as a file.
+// Durations and rates are strings in the package's notation ("100ms",
+// "155Mbps") so configs read like the paper.
+//
+//	{
+//	  "rate": "155Mbps", "rtt": "100ms", "rttSpread": "80ms",
+//	  "flows": 400, "bufferFactor": 1.0,
+//	  "variant": "sack", "paced": false, "delayedAck": false,
+//	  "seed": 1, "warmup": "20s", "measure": "40s"
+//	}
+type scenarioFile struct {
+	Rate         string  `json:"rate"`
+	RTT          string  `json:"rtt"`
+	RTTSpread    string  `json:"rttSpread"`
+	Flows        int     `json:"flows"`
+	BufferFactor float64 `json:"bufferFactor"`
+	Buffer       int     `json:"buffer"`
+	Segment      int     `json:"segment"`
+	Variant      string  `json:"variant"`
+	Paced        bool    `json:"paced"`
+	DelayedAck   bool    `json:"delayedAck"`
+	RED          bool    `json:"red"`
+	Seed         int64   `json:"seed"`
+	Warmup       string  `json:"warmup"`
+	Measure      string  `json:"measure"`
+}
+
+// loadScenario reads and validates a scenario file into a Simulation plus
+// the link it describes.
+func loadScenario(path string) (bufsim.Simulation, bufsim.Link, error) {
+	var zero bufsim.Simulation
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return zero, bufsim.Link{}, err
+	}
+	var sf scenarioFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sf); err != nil {
+		return zero, bufsim.Link{}, fmt.Errorf("%s: %v", path, err)
+	}
+
+	parseDur := func(field, s, dflt string) (bufsim.Duration, error) {
+		if s == "" {
+			s = dflt
+		}
+		d, err := bufsim.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("%s: field %q: %v", path, field, err)
+		}
+		return d, nil
+	}
+
+	if sf.Rate == "" {
+		return zero, bufsim.Link{}, fmt.Errorf("%s: field \"rate\" is required", path)
+	}
+	rate, err := bufsim.ParseBitRate(sf.Rate)
+	if err != nil {
+		return zero, bufsim.Link{}, fmt.Errorf("%s: field \"rate\": %v", path, err)
+	}
+	rtt, err := parseDur("rtt", sf.RTT, "100ms")
+	if err != nil {
+		return zero, bufsim.Link{}, err
+	}
+	spread, err := parseDur("rttSpread", sf.RTTSpread, "80ms")
+	if err != nil {
+		return zero, bufsim.Link{}, err
+	}
+	warmup, err := parseDur("warmup", sf.Warmup, "20s")
+	if err != nil {
+		return zero, bufsim.Link{}, err
+	}
+	measure, err := parseDur("measure", sf.Measure, "40s")
+	if err != nil {
+		return zero, bufsim.Link{}, err
+	}
+	if sf.Flows <= 0 {
+		return zero, bufsim.Link{}, fmt.Errorf("%s: field \"flows\" must be positive", path)
+	}
+
+	var variant bufsim.Variant
+	switch sf.Variant {
+	case "", "reno":
+		variant = bufsim.Reno
+	case "tahoe":
+		variant = bufsim.Tahoe
+	case "newreno":
+		variant = bufsim.NewReno
+	case "sack":
+		variant = bufsim.Sack
+	default:
+		return zero, bufsim.Link{}, fmt.Errorf("%s: unknown variant %q", path, sf.Variant)
+	}
+
+	link := bufsim.Link{Rate: rate, RTT: rtt, SegmentSize: bufsim.ByteSize(sf.Segment)}
+	buffer := sf.Buffer
+	if buffer == 0 {
+		factor := sf.BufferFactor
+		if factor == 0 {
+			factor = 1
+		}
+		buffer = int(factor * float64(link.SqrtRule(sf.Flows)))
+		if buffer < 1 {
+			buffer = 1
+		}
+	}
+	return bufsim.Simulation{
+		Seed:          sf.Seed,
+		Link:          link,
+		Flows:         sf.Flows,
+		BufferPackets: buffer,
+		RTTSpread:     spread,
+		Warmup:        warmup,
+		Measure:       measure,
+		RED:           sf.RED,
+		Variant:       variant,
+		Paced:         sf.Paced,
+		DelayedAck:    sf.DelayedAck,
+	}, link, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bufsim"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadScenario(t *testing.T) {
+	path := writeConfig(t, `{
+		"rate": "155Mbps", "rtt": "100ms", "rttSpread": "40ms",
+		"flows": 300, "bufferFactor": 2.0,
+		"variant": "sack", "paced": true, "delayedAck": true,
+		"seed": 9, "warmup": "5s", "measure": "10s"
+	}`)
+	sim, link, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Rate != bufsim.OC3 || link.RTT != 100*bufsim.Millisecond {
+		t.Errorf("link = %+v", link)
+	}
+	if sim.Flows != 300 || sim.Seed != 9 || !sim.Paced || !sim.DelayedAck {
+		t.Errorf("sim = %+v", sim)
+	}
+	if sim.Variant != bufsim.Sack {
+		t.Errorf("variant = %v", sim.Variant)
+	}
+	// bufferFactor 2 x sqrt rule (1938/sqrt(300) ~ 112) ~ 224.
+	if sim.BufferPackets < 220 || sim.BufferPackets > 228 {
+		t.Errorf("BufferPackets = %d, want ~224", sim.BufferPackets)
+	}
+	if sim.Warmup != 5*bufsim.Second || sim.Measure != 10*bufsim.Second {
+		t.Errorf("windows = %v/%v", sim.Warmup, sim.Measure)
+	}
+}
+
+func TestLoadScenarioExplicitBufferWins(t *testing.T) {
+	path := writeConfig(t, `{"rate": "10Mbps", "flows": 10, "buffer": 77, "bufferFactor": 3}`)
+	sim, _, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.BufferPackets != 77 {
+		t.Errorf("BufferPackets = %d, want 77", sim.BufferPackets)
+	}
+	// Defaults fill in.
+	if sim.Variant != bufsim.Reno || sim.Warmup != 20*bufsim.Second {
+		t.Errorf("defaults not applied: %+v", sim)
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing rate":   `{"flows": 10}`,
+		"bad rate":       `{"rate": "fast", "flows": 10}`,
+		"bad rtt":        `{"rate": "10Mbps", "rtt": "late", "flows": 10}`,
+		"zero flows":     `{"rate": "10Mbps"}`,
+		"unknown field":  `{"rate": "10Mbps", "flows": 10, "bandwidth": 5}`,
+		"bad variant":    `{"rate": "10Mbps", "flows": 10, "variant": "cubic"}`,
+		"malformed json": `{"rate": `,
+	}
+	for name, body := range cases {
+		if _, _, err := loadScenario(writeConfig(t, body)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	if _, _, err := loadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: no error")
+	}
+}
+
+func TestRepoExampleConfigLoads(t *testing.T) {
+	// The checked-in example must stay valid.
+	sim, _, err := loadScenario("../../configs/oc3-sack.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Flows != 200 || sim.Variant != bufsim.Sack {
+		t.Errorf("example config parsed oddly: %+v", sim)
+	}
+}

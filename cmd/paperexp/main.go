@@ -1,0 +1,529 @@
+// Command paperexp regenerates the figures and tables of "Sizing Router
+// Buffers" (SIGCOMM 2004). Each experiment id matches DESIGN.md's
+// per-experiment index:
+//
+//	paperexp -exp fig2     single-flow sawtooth at B = RTT x C (also figs 3)
+//	paperexp -exp fig4     underbuffered single flow
+//	paperexp -exp fig5     overbuffered single flow
+//	paperexp -exp fig6     aggregate-window distribution vs Gaussian
+//	paperexp -exp fig7     min buffer vs n for utilization targets
+//	paperexp -exp fig8     min buffer for short flows vs the M/G/1 model
+//	paperexp -exp fig9     AFCT: RTTxC vs RTTxC/sqrt(n) buffers
+//	paperexp -exp fig10    the Cisco-GSR utilization table (model vs sim)
+//	paperexp -exp fig11    the production-mix table
+//	paperexp -exp sync     synchronization vs flow count ablation
+//	paperexp -exp red      fig10 under RED
+//	paperexp -exp pareto   fig9 with bounded-Pareto flow sizes
+//
+// plus the extensions beyond the paper's own artifacts:
+//
+//	paperexp -exp pacing     paced vs ACK-clocked senders at tiny buffers
+//	paperexp -exp smooth     slow access links vs the M/D/1 bound
+//	paperexp -exp internet2  the §5.3 backbone at 0.5% of a 1s buffer
+//	paperexp -exp multihop   per-link sqrt(n) rule on two bottlenecks
+//	paperexp -exp variants   Reno / NewReno / SACK / Tahoe robustness
+//	paperexp -exp ecn        RED marking vs dropping
+//	paperexp -exp harpoon    closed-loop session traffic (§5.2 methodology)
+//	paperexp -exp rttspread  RTT heterogeneity vs synchronization (§3)
+//	paperexp -exp all        everything above
+//
+// -quick shrinks every experiment (lower rates, fewer points, shorter
+// windows) for a fast smoke run; full runs use the paper's parameters.
+// -csv DIR writes the figure time series / curves as CSV files; -svg DIR
+// renders the figures as SVG.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"bufsim/internal/experiment"
+	"bufsim/internal/plot"
+	"bufsim/internal/trace"
+	"bufsim/internal/units"
+	"bufsim/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperexp: ")
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, all)")
+		quick  = flag.Bool("quick", false, "scaled-down parameters for a fast run")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		csvDir = flag.String("csv", "", "directory to write CSV series into (optional)")
+		svgDir = flag.String("svg", "", "directory to write SVG figures into (optional)")
+	)
+	flag.Parse()
+
+	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			"fig11", "sync", "red", "pareto", "pacing", "smooth", "internet2",
+			"multihop", "variants", "ecn", "harpoon", "rttspread", "codel"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", id)
+		if err := r.run(id); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+type runner struct {
+	quick  bool
+	seed   int64
+	csvDir string
+	svgDir string
+}
+
+// writeSVG renders a chart into the svg directory, if one was requested.
+func (r runner) writeSVG(name string, c *plot.Chart) error {
+	if r.svgDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.svgDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(r.svgDir, name+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Render(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func (r runner) run(id string) error {
+	switch id {
+	case "fig2", "fig3":
+		return r.singleFlow(1.0, "fig2_rule_of_thumb")
+	case "fig4":
+		return r.singleFlow(0.125, "fig4_underbuffered")
+	case "fig5":
+		return r.singleFlow(2.0, "fig5_overbuffered")
+	case "fig6":
+		return r.windowDist()
+	case "fig7":
+		return r.minBuffer()
+	case "fig8":
+		return r.shortFlows()
+	case "fig9":
+		return r.afct(workload.GeometricSize(14), "fig9")
+	case "pareto":
+		return r.afct(workload.ParetoSize{Shape: 1.2, Min: 2, Max: 2000}, "pareto")
+	case "fig10":
+		return r.table(false)
+	case "red":
+		return r.table(true)
+	case "fig11":
+		return r.production()
+	case "sync":
+		return r.sync()
+	case "pacing":
+		return r.pacing()
+	case "internet2":
+		return r.backbone()
+	case "multihop":
+		return r.multihop()
+	case "variants":
+		return r.variants()
+	case "ecn":
+		return r.ecn()
+	case "harpoon":
+		return r.harpoon()
+	case "rttspread":
+		return r.rttSpread()
+	case "codel":
+		return r.codel()
+	case "smooth":
+		return r.smoothing()
+	default:
+		return fmt.Errorf("unknown experiment %q (see -help)", id)
+	}
+}
+
+func (r runner) writeCSV(name string, series ...*trace.Series) error {
+	if r.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(r.csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, series...); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func (r runner) singleFlow(factor float64, name string) error {
+	cfg := experiment.SingleFlowConfig{BufferFactor: factor}
+	if r.quick {
+		cfg.Warmup, cfg.Measure = 60*units.Second, 60*units.Second
+	}
+	res := experiment.RunSingleFlow(cfg)
+	fmt.Printf("BDP %d pkts, buffer %d pkts (%.3gx)\n", res.BDPPackets, res.BufferPackets, factor)
+	fmt.Printf("utilization %.2f%%, mean queue %.1f pkts, min queue seen %.0f pkts\n",
+		100*res.Utilization, res.MeanQueue, res.MinQueueSeen)
+	fmt.Println(trace.ASCIIPlot(res.Cwnd.Window(res.Cwnd.Times[0], res.Cwnd.Times[0]+60), 72, 10))
+	fmt.Println(trace.ASCIIPlot(res.Queue.Window(res.Queue.Times[0], res.Queue.Times[0]+60), 72, 8))
+	if err := r.writeCSV(name, res.Cwnd, res.Queue); err != nil {
+		return err
+	}
+	cwnd := res.Cwnd.Window(res.Cwnd.Times[0], res.Cwnd.Times[0]+60).Downsample(1200)
+	qp := res.Queue.Window(res.Queue.Times[0], res.Queue.Times[0]+60).Downsample(1200)
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Single flow, B = %.3gx RTTxC (util %.1f%%)", factor, 100*res.Utilization),
+		XLabel: "time (s)", YLabel: "packets",
+	}
+	chart.Add("cwnd W(t)", plot.Line, cwnd.Times, cwnd.Values)
+	chart.Add("queue Q(t)", plot.Line, qp.Times, qp.Values)
+	return r.writeSVG(name, chart)
+}
+
+func (r runner) windowDist() error {
+	cfg := experiment.WindowDistConfig{Seed: r.seed, N: 200}
+	if r.quick {
+		cfg.N = 80
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Warmup, cfg.Measure = 10*units.Second, 30*units.Second
+	}
+	res := experiment.RunWindowDist(cfg)
+	experiment.RenderWindowDist(os.Stdout, res)
+	hist := &trace.Series{Name: "density"}
+	normal := &trace.Series{Name: "normal_fit"}
+	for i := 0; i < res.Histogram.NumBins(); i++ {
+		center, _ := res.Histogram.Bin(i)
+		hist.Times = append(hist.Times, center)
+		hist.Values = append(hist.Values, res.Histogram.Density(i))
+		z := (center - res.Mean) / res.StdDev
+		normal.Times = append(normal.Times, center)
+		normal.Values = append(normal.Values, math.Exp(-z*z/2)/(res.StdDev*math.Sqrt(2*math.Pi)))
+	}
+	if err := r.writeCSV("fig6_window_distribution", hist, normal); err != nil {
+		return err
+	}
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Aggregate window distribution, n=%d (KS %.3f)", res.N, res.KS),
+		XLabel: "sum of congestion windows (packets)", YLabel: "probability density",
+	}
+	chart.Add("measured", plot.Line, hist.Times, hist.Values)
+	chart.Add("normal fit", plot.Line, normal.Times, normal.Values)
+	return r.writeSVG("fig6_window_distribution", chart)
+}
+
+func (r runner) minBuffer() error {
+	cfg := experiment.MinBufferConfig{Seed: r.seed}
+	if r.quick {
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Ns = []int{25, 50, 100, 200}
+		cfg.Targets = []float64{0.98, 0.995}
+		cfg.LadderPoints = 7
+		cfg.Warmup, cfg.Measure = 8*units.Second, 15*units.Second
+	}
+	res := experiment.RunMinBufferSweep(cfg)
+	experiment.RenderMinBuffer(os.Stdout, res)
+	curve := &trace.Series{Name: "utilization"}
+	for _, s := range res.Ladder {
+		curve.Times = append(curve.Times, float64(s.N)*1e6+float64(s.Buffer))
+		curve.Values = append(curve.Values, s.Utilization)
+	}
+	if err := r.writeCSV("fig7_ladder", curve); err != nil {
+		return err
+	}
+	chart := &plot.Chart{
+		Title:  "Minimum buffer vs number of long-lived flows",
+		XLabel: "flows n", YLabel: "buffer (packets)",
+		XLog: true, YLog: true,
+	}
+	byTarget := map[float64][][2]float64{}
+	var targets []float64
+	var rule [][2]float64
+	seen := map[int]bool{}
+	for _, p := range res.Points {
+		if _, ok := byTarget[p.Target]; !ok {
+			targets = append(targets, p.Target)
+		}
+		byTarget[p.Target] = append(byTarget[p.Target], [2]float64{float64(p.N), float64(p.MinBuffer)})
+		if !seen[p.N] {
+			seen[p.N] = true
+			rule = append(rule, [2]float64{float64(p.N), float64(p.SqrtRule)})
+		}
+	}
+	addSeries := func(name string, pts [][2]float64, style plot.Style) {
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p[0], p[1]
+		}
+		chart.Add(name, style, xs, ys)
+	}
+	for _, target := range targets {
+		addSeries(fmt.Sprintf("min buffer @ %.1f%%", 100*target), byTarget[target], plot.LinePoints)
+	}
+	addSeries("RTTxC/sqrt(n)", rule, plot.Line)
+	return r.writeSVG("fig7_min_buffer", chart)
+}
+
+func (r runner) shortFlows() error {
+	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed}
+	if r.quick {
+		cfg.Rates = []units.BitRate{20 * units.Mbps, 60 * units.Mbps}
+		cfg.Warmup, cfg.Measure = 5*units.Second, 15*units.Second
+	} else {
+		// The figure's x-axis: sweep the flow length (burst structure).
+		cfg.FlowLens = []int64{6, 14, 30, 62}
+	}
+	points := experiment.RunShortFlowBuffer(cfg)
+	experiment.RenderShortFlowBuffer(os.Stdout, points)
+
+	chart := &plot.Chart{
+		Title:  "Short flows: min buffer for AFCT within 12.5% of infinite",
+		XLabel: "flow length (segments)", YLabel: "buffer (packets)",
+	}
+	byRate := map[units.BitRate][][2]float64{}
+	var rates []units.BitRate
+	var model [][2]float64
+	seenLen := map[int64]bool{}
+	for _, p := range points {
+		if _, ok := byRate[p.Rate]; !ok {
+			rates = append(rates, p.Rate)
+		}
+		byRate[p.Rate] = append(byRate[p.Rate], [2]float64{float64(p.FlowLen), float64(p.MinBuffer)})
+		if !seenLen[p.FlowLen] {
+			seenLen[p.FlowLen] = true
+			model = append(model, [2]float64{float64(p.FlowLen), p.ModelBuffer})
+		}
+	}
+	add := func(name string, pts [][2]float64, style plot.Style) {
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p[0], p[1]
+		}
+		chart.Add(name, style, xs, ys)
+	}
+	for _, rate := range rates {
+		add(rate.String(), byRate[rate], plot.LinePoints)
+	}
+	add("M/G/1 model (P=0.025)", model, plot.Line)
+	return r.writeSVG("fig8_short_flow_buffer", chart)
+}
+
+func (r runner) afct(sizes workload.SizeDist, name string) error {
+	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes}
+	if r.quick {
+		cfg.NLong = 60
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	fmt.Printf("short-flow sizes: %v\n", sizes)
+	res := experiment.RunAFCTComparison(cfg)
+	experiment.RenderAFCTComparison(os.Stdout, res)
+	_ = name
+	return nil
+}
+
+func (r runner) table(red bool) error {
+	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red}
+	if r.quick {
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Ns = []int{50, 100}
+		cfg.Factors = []float64{0.5, 1, 2}
+		cfg.Warmup, cfg.Measure = 8*units.Second, 15*units.Second
+	}
+	if red {
+		fmt.Println("queue discipline: RED")
+	}
+	rows := experiment.RunUtilizationTable(cfg)
+	experiment.RenderUtilizationTable(os.Stdout, rows)
+	return nil
+}
+
+func (r runner) production() error {
+	cfg := experiment.ProductionConfig{Seed: r.seed}
+	if r.quick {
+		cfg.NLong = 30
+		cfg.Buffers = []int{8, 46, 300}
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	rows := experiment.RunProduction(cfg)
+	experiment.RenderProduction(os.Stdout, rows)
+	return nil
+}
+
+func (r runner) pacing() error {
+	cfg := experiment.PacingConfig{Seed: r.seed}
+	if r.quick {
+		cfg.N = 20
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.BufferFactors = []float64{0.25, 1}
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	points := experiment.RunPacingAblation(cfg)
+	experiment.RenderPacing(os.Stdout, points)
+	return nil
+}
+
+func (r runner) smoothing() error {
+	cfg := experiment.SmoothingConfig{Seed: r.seed, TailAt: 20}
+	if r.quick {
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Warmup, cfg.Measure = 8*units.Second, 30*units.Second
+	}
+	points := experiment.RunSmoothing(cfg)
+	experiment.RenderSmoothing(os.Stdout, points, cfg.TailAt)
+	return nil
+}
+
+func (r runner) backbone() error {
+	cfg := experiment.BackboneConfig{Seed: r.seed}
+	if r.quick {
+		cfg.BottleneckRate = 600 * units.Mbps
+		cfg.N = 600
+		cfg.Warmup, cfg.Measure = 8*units.Second, 15*units.Second
+	}
+	res := experiment.RunBackbone(cfg)
+	fmt.Printf("default 1s buffer: %d packets; running at %.1f%% of it = %d packets "+
+		"(RTTxC/sqrt(n) = %d)\n",
+		res.OneSecondBuffer, 100*float64(res.SmallBuffer)/float64(res.OneSecondBuffer),
+		res.SmallBuffer, res.SqrtRule)
+	fmt.Printf("utilization %.2f%% (degradation %.2f%%), loss %.2f%%\n",
+		100*res.Small.Utilization, 100*res.UtilDegradation, 100*res.Small.LossRate)
+	fmt.Printf("queueing delay: mean %v, P99 %v (vs up to 1s with the default buffer)\n",
+		res.Small.QueueDelayMean, res.Small.QueueDelayP99)
+	return nil
+}
+
+func (r runner) multihop() error {
+	cfg := experiment.MultiHopConfig{Seed: r.seed}
+	if r.quick {
+		cfg.LinkRate = 20 * units.Mbps
+		cfg.NPerGroup = 40
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	res := experiment.RunMultiHop(cfg)
+	fmt.Printf("two bottlenecks, %d flows per link, buffer %d pkts each (1x sqrt rule)\n",
+		res.FlowsPerLink, res.BufferPackets)
+	fmt.Printf("hop 1: %.2f%% utilization, %.2f%% loss\n", 100*res.Util[0], 100*res.LossRate[0])
+	fmt.Printf("hop 2: %.2f%% utilization, %.2f%% loss\n", 100*res.Util[1], 100*res.LossRate[1])
+	fmt.Printf("two-bottleneck flows' share of hop 1: %.1f%% (fair share 50%%)\n",
+		100*res.CrossingShare)
+	return nil
+}
+
+func (r runner) variants() error {
+	cfg := experiment.VariantConfig{Seed: r.seed}
+	if r.quick {
+		cfg.N = 60
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	points := experiment.RunVariantAblation(cfg)
+	experiment.RenderVariants(os.Stdout, points)
+	return nil
+}
+
+func (r runner) ecn() error {
+	cfg := experiment.ECNConfig{Seed: r.seed}
+	if r.quick {
+		cfg.N = 100
+		cfg.BottleneckRate = 40 * units.Mbps
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	res := experiment.RunECN(cfg)
+	fmt.Printf("RED buffer %d pkts (2x sqrt rule), %d flows\n", res.BufferPackets, res.Drop.N)
+	fmt.Printf("RED drop: util %.2f%%, loss %.2f%%, timeouts %d\n",
+		100*res.Drop.Utilization, 100*res.Drop.LossRate, res.Drop.Timeouts)
+	fmt.Printf("RED mark (ECN): util %.2f%%, loss %.2f%%, timeouts %d\n",
+		100*res.Mark.Utilization, 100*res.Mark.LossRate, res.Mark.Timeouts)
+	return nil
+}
+
+func (r runner) harpoon() error {
+	cfg := experiment.HarpoonConfig{Seed: r.seed}
+	if r.quick {
+		cfg.BottleneckRate = 40 * units.Mbps
+		cfg.Sessions = 500
+		cfg.Warmup, cfg.Measure = 15*units.Second, 25*units.Second
+	}
+	res := experiment.RunHarpoon(cfg)
+	fmt.Printf("closed-loop sessions; calibrated concurrent flows n = %d, RTTxC/sqrt(n) = %d pkts\n",
+		res.CalibratedN, res.SqrtRule)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Buffer\tPkts\tUtil\tActiveFlows\tTransfers")
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%.1fx\t%d\t%.2f%%\t%.0f\t%d\n",
+			row.Factor, row.Buffer, 100*row.Utilization, row.MeanActive, row.Transfers)
+	}
+	tw.Flush()
+	return nil
+}
+
+func (r runner) codel() error {
+	cfg := experiment.CoDelConfig{Seed: r.seed}
+	if r.quick {
+		cfg.N = 100
+		cfg.BottleneckRate = 40 * units.Mbps
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	rows := experiment.RunCoDel(cfg)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Design\tPkts\tUtil\tP99 delay\tLoss")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f%%\t%.1fms\t%.2f%%\n",
+			row.Label, row.BufferPackets, 100*row.Utilization,
+			row.QueueDelayP99.Milliseconds(), 100*row.LossRate)
+	}
+	tw.Flush()
+	return nil
+}
+
+func (r runner) rttSpread() error {
+	cfg := experiment.RTTSpreadConfig{Seed: r.seed}
+	if r.quick {
+		cfg.N = 100
+		cfg.BottleneckRate = 40 * units.Mbps
+		cfg.Warmup, cfg.Measure = 10*units.Second, 25*units.Second
+	}
+	points := experiment.RunRTTSpread(cfg)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "RTTSpread\tUtil\tSyncIndex")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%v\t%.2f%%\t%.2f\n", p.Spread, 100*p.Utilization, p.SyncIndex)
+	}
+	tw.Flush()
+	return nil
+}
+
+func (r runner) sync() error {
+	cfg := experiment.SyncConfig{Seed: r.seed}
+	if r.quick {
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Ns = []int{5, 30, 120}
+		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
+	}
+	points := experiment.RunSyncAblation(cfg)
+	experiment.RenderSync(os.Stdout, points)
+	return nil
+}

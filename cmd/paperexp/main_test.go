@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunnerQuickExperiments drives a cheap subset of the experiment ids
+// end to end in quick mode, with CSV and SVG output, exactly as a user
+// would. Guards the CLI plumbing (id dispatch, file writing) against
+// regressions without paying for the expensive sweeps.
+func TestRunnerQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (scaled) experiments")
+	}
+	dir := t.TempDir()
+	r := runner{quick: true, seed: 1, csvDir: filepath.Join(dir, "csv"), svgDir: filepath.Join(dir, "svg")}
+
+	for _, id := range []string{"fig2", "fig6", "ecn", "multihop", "variants", "codel"} {
+		if err := r.run(id); err != nil {
+			t.Fatalf("run(%q): %v", id, err)
+		}
+	}
+
+	// The figure-producing ids must have written their artifacts.
+	for _, want := range []string{
+		"csv/fig2_rule_of_thumb.csv",
+		"svg/fig2_rule_of_thumb.svg",
+		"csv/fig6_window_distribution.csv",
+		"svg/fig6_window_distribution.svg",
+	} {
+		path := filepath.Join(dir, want)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", want, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s is empty", want)
+		}
+		if strings.HasSuffix(want, ".svg") && !strings.Contains(string(data), "<svg") {
+			t.Errorf("artifact %s is not SVG", want)
+		}
+		if strings.HasSuffix(want, ".csv") && !strings.Contains(string(data), "time_s") {
+			t.Errorf("artifact %s has no CSV header", want)
+		}
+	}
+}
+
+func TestRunnerUnknownID(t *testing.T) {
+	r := runner{quick: true}
+	if err := r.run("fig99"); err == nil {
+		t.Error("unknown experiment id did not error")
+	}
+}

@@ -1,0 +1,53 @@
+package bufsim_test
+
+import (
+	"fmt"
+
+	"bufsim"
+)
+
+// The paper's abstract in four lines: the rule-of-thumb buffer for a
+// 10 Gb/s backbone link versus the sqrt(n) buffer at backbone flow counts.
+func ExampleLink_SqrtRule() {
+	link := bufsim.Link{Rate: 10 * bufsim.Gbps, RTT: 250 * bufsim.Millisecond}
+	fmt.Println("rule of thumb:", link.RuleOfThumb(), "packets")
+	fmt.Println("with 50000 flows:", link.SqrtRule(50000), "packets")
+	// Output:
+	// rule of thumb: 312500 packets
+	// with 50000 flows: 1398 packets
+}
+
+// Short flows need a buffer that depends only on load and burst sizes —
+// the same at 40 Mb/s and 1 Tb/s.
+func ExampleLink_ShortFlowBuffer() {
+	small := bufsim.Link{Rate: 40 * bufsim.Mbps, RTT: 100 * bufsim.Millisecond}
+	huge := bufsim.Link{Rate: 1000 * bufsim.Gbps, RTT: 100 * bufsim.Millisecond}
+	fmt.Printf("40 Mb/s: %.1f packets\n", small.ShortFlowBuffer(0.8, 0.025, 14, 43))
+	fmt.Printf("1 Tb/s:  %.1f packets\n", huge.ShortFlowBuffer(0.8, 0.025, 14, 43))
+	// Output:
+	// 40 Mb/s: 44.3 packets
+	// 1 Tb/s:  44.3 packets
+}
+
+// The hardware consequence (§1.3): the same 40 Gb/s linecard needs
+// hundreds of SRAM chips under the old rule, or fits on-chip under the
+// new one.
+func ExampleLink_MemoryFeasibility() {
+	link := bufsim.Link{Rate: 40 * bufsim.Gbps, RTT: 250 * bufsim.Millisecond}
+	big := link.MemoryFeasibility(link.RuleOfThumb())
+	small := link.MemoryFeasibility(link.SqrtRule(200000))
+	fmt.Println("rule of thumb: ", big.SRAMChips, "SRAM chips; on-chip:", big.FitsOnChip)
+	fmt.Println("sqrt(n) buffer:", small.SRAMChips, "SRAM chip; on-chip:", small.FitsOnChip)
+	// Output:
+	// rule of thumb:  278 SRAM chips; on-chip: false
+	// sqrt(n) buffer: 1 SRAM chip; on-chip: true
+}
+
+// Parsing helpers accept the notation used throughout the paper.
+func ExampleParseBitRate() {
+	r, _ := bufsim.ParseBitRate("2.5Gbps")
+	d, _ := bufsim.ParseDuration("250ms")
+	fmt.Println(r, d)
+	// Output:
+	// 2500Mbps 250ms
+}

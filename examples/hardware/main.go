@@ -1,0 +1,38 @@
+// Hardware walks the paper's §1.3 argument: at backbone rates the
+// rule-of-thumb buffer cannot be built sensibly from commodity memory,
+// while the sqrt(n) buffer fits on the packet-processor die. For each line
+// rate it prints both buffers and what they would take to build.
+package main
+
+import (
+	"fmt"
+
+	"bufsim"
+)
+
+func main() {
+	const rtt = 250 * bufsim.Millisecond
+	flows := map[bufsim.BitRate]int{
+		bufsim.OC3:       400,    // the paper's lab scale
+		bufsim.OC48:      10000,  // "a 2.5Gb/s link carrying 10,000 flows"
+		10 * bufsim.Gbps: 50000,  // "a 10Gb/s link carrying 50,000 flows"
+		40 * bufsim.Gbps: 200000, // the paper's state-of-the-art linecard
+	}
+
+	for _, rate := range []bufsim.BitRate{bufsim.OC3, bufsim.OC48, 10 * bufsim.Gbps, 40 * bufsim.Gbps} {
+		n := flows[rate]
+		link := bufsim.Link{Rate: rate, RTT: rtt}
+		rot := link.RuleOfThumb()
+		small := link.SqrtRule(n)
+
+		fmt.Printf("== %v, %d flows, %v RTT ==\n", rate, n, rtt)
+		fmt.Printf("  rule of thumb: %7d pkts  -> %s\n", rot, link.MemoryFeasibility(rot).Description)
+		fmt.Printf("  RTT*C/sqrt(n): %7d pkts  -> %s\n", small, link.MemoryFeasibility(small).Description)
+		fmt.Printf("  predicted utilization with the small buffer: %.2f%%\n\n",
+			100*link.PredictUtilization(n, small))
+	}
+
+	fmt.Println("The 40 Gb/s case is the paper's punchline: ~1.25 GB of buffers needs")
+	fmt.Println("hundreds of SRAM chips or a wide DRAM bank that cannot keep up with")
+	fmt.Println("8 ns packet times — but divided by sqrt(200,000) it fits on-chip.")
+}

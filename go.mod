@@ -1,0 +1,3 @@
+module bufsim
+
+go 1.22

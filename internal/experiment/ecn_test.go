@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"testing"
+
+	"bufsim/internal/units"
+)
+
+func TestRunECNMarkingBeatsDropping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired simulation runs")
+	}
+	res := RunECN(ECNConfig{
+		Seed:           1,
+		N:              100,
+		BottleneckRate: 40 * units.Mbps,
+		BufferFactor:   2,
+		Warmup:         10 * units.Second,
+		Measure:        20 * units.Second,
+	})
+	if res.Mark.Utilization < res.Drop.Utilization {
+		t.Errorf("marking utilization %v below dropping %v",
+			res.Mark.Utilization, res.Drop.Utilization)
+	}
+	if res.Mark.LossRate >= res.Drop.LossRate {
+		t.Errorf("marking loss %v not below dropping %v",
+			res.Mark.LossRate, res.Drop.LossRate)
+	}
+	if res.Mark.Timeouts >= res.Drop.Timeouts {
+		t.Errorf("marking timeouts %d not below dropping %d",
+			res.Mark.Timeouts, res.Drop.Timeouts)
+	}
+}
+
+func TestECNRequiresRED(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ECN without RED did not panic")
+		}
+	}()
+	RunLongLived(LongLivedConfig{
+		N: 2, BottleneckRate: units.Mbps, BufferPackets: 10, ECN: true,
+		Warmup: units.Second, Measure: units.Second,
+	})
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Concurrency bounds how many independent simulations the sweep drivers
+// run at once. Each simulation owns its scheduler and RNG streams, so
+// runs are isolated and results are bit-identical regardless of worker
+// count or completion order; only wall-clock time changes. Defaults to
+// the machine's parallelism.
+var Concurrency = runtime.GOMAXPROCS(0)
+
+// parallelFor runs fn(i) for i in [0, n) on up to Concurrency workers and
+// waits for all of them. fn must write its result to its own index of a
+// pre-sized slice (or otherwise avoid shared mutable state).
+func parallelFor(n int, fn func(i int)) {
+	workers := Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"bufsim/internal/units"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	old := Concurrency
+	defer func() { Concurrency = old }()
+	for _, workers := range []int{0, 1, 4, 100} {
+		Concurrency = workers
+		var hits [57]int32
+		parallelFor(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	// n = 0 must be a no-op.
+	parallelFor(0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired sweeps")
+	}
+	old := Concurrency
+	defer func() { Concurrency = old }()
+	cfg := UtilizationTableConfig{
+		Seed:           5,
+		BottleneckRate: 10 * units.Mbps,
+		Ns:             []int{20, 40},
+		Factors:        []float64{1, 2},
+		Warmup:         5 * units.Second,
+		Measure:        8 * units.Second,
+	}
+	Concurrency = 1
+	seq := RunUtilizationTable(cfg)
+	Concurrency = 8
+	par := RunUtilizationTable(cfg)
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d differs:\nseq %+v\npar %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"bufsim/internal/units"
+)
+
+// RenderUtilizationTable prints Fig. 10-style rows.
+func RenderUtilizationTable(w io.Writer, rows []UtilizationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Flows\tBuffer\tPkts\tRAM\tModel\tSim")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1fx\t%d\t%.1f Mbit\t%.1f%%\t%.1f%%\n",
+			r.N, r.Factor, r.Packets, r.RAMMbit, 100*r.ModelUtil, 100*r.SimUtil)
+	}
+	tw.Flush()
+}
+
+// RenderMinBuffer prints Fig. 7-style rows.
+func RenderMinBuffer(w io.Writer, res MinBufferResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "BDP = %d packets\n", res.BDPPackets)
+	fmt.Fprintln(tw, "Flows\tTarget\tMinBuffer\tRTTxC/sqrt(n)\tAchieved")
+	for _, p := range res.Points {
+		fmt.Fprintf(tw, "%d\t%.1f%%\t%d\t%d\t%.2f%%\n",
+			p.N, 100*p.Target, p.MinBuffer, p.SqrtRule, 100*p.Achieved)
+	}
+	tw.Flush()
+}
+
+// RenderShortFlowBuffer prints Fig. 8-style rows.
+func RenderShortFlowBuffer(w io.Writer, points []ShortFlowBufferPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Rate\tFlowLen\tMinBuffer\tModel(P=0.025)\tBaseAFCT\tAFCT@Min")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%.1f\t%v\t%v\n",
+			p.Rate, p.FlowLen, p.MinBuffer, p.ModelBuffer,
+			roundMS(p.BaselineAFCT), roundMS(p.AchievedAFCT))
+	}
+	tw.Flush()
+}
+
+// RenderAFCTComparison prints Fig. 9-style rows.
+func RenderAFCTComparison(w io.Writer, res AFCTComparisonResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "BDP = %d packets\n", res.BDPPackets)
+	fmt.Fprintln(tw, "Buffer\tPkts\tAFCT\tUtil\tMeanQueue\tFlows")
+	for _, o := range []AFCTOutcome{res.RuleThumb, res.SqrtRule} {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%.1f%%\t%.0f\t%d\n",
+			o.Label, o.BufferPackets, roundMS(o.AFCT), 100*o.Utilization, o.MeanQueue, o.Completed)
+	}
+	tw.Flush()
+}
+
+// RenderProduction prints Fig. 11-style rows.
+func RenderProduction(w io.Writer, rows []ProductionRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Buffer\tRTTxC/sqrt(n)\tUtil(sim)\tUtil(model)\tConcurrent\tAFCT")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1fx\t%.2f%%\t%.2f%%\t%.0f\t%v\n",
+			r.Buffer, r.SqrtRuleRatio, 100*r.Utilization, 100*r.ModelUtil,
+			r.MeanConcurrent, roundMS(r.AFCT))
+	}
+	tw.Flush()
+}
+
+// RenderSync prints the synchronization-ablation rows.
+func RenderSync(w io.Writer, points []SyncPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Flows\tSyncIndex\tKS\tAggMean\tAggStdDev")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.4f\t%.0f\t%.1f\n", p.N, p.SyncIndex, p.KS, p.Mean, p.StdDev)
+	}
+	tw.Flush()
+}
+
+// RenderPacing prints the pacing-ablation rows.
+func RenderPacing(w io.Writer, points []PacingPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Buffer\tPkts\tUtil(unpaced)\tUtil(paced)")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%.2fx\t%d\t%.2f%%\t%.2f%%\n",
+			p.Factor, p.BufferPackets, 100*p.UtilUnpaced, 100*p.UtilPaced)
+	}
+	tw.Flush()
+}
+
+// RenderSmoothing prints the access-link smoothing rows.
+func RenderSmoothing(w io.Writer, points []SmoothingPoint, tailAt int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "P(Q >= %d):\n", tailAt)
+	fmt.Fprintln(tw, "Access\tMeasured\tM/G/1 bound\tM/D/1 bound\tMeanQueue")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%.2gx\t%.4f\t%.4f\t%.4f\t%.1f\n",
+			p.AccessRatio, p.TailProb, p.ModelMG1, p.ModelMD1, p.MeanQueue)
+	}
+	tw.Flush()
+}
+
+// RenderVariants prints the congestion-control-ablation rows.
+func RenderVariants(w io.Writer, points []VariantPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Variant\tUtil\tLoss\tTimeouts\tRetransmits")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%v\t%.2f%%\t%.2f%%\t%d\t%.2f%%\n",
+			p.Variant, 100*p.Utilization, 100*p.LossRate, p.Timeouts, 100*p.Retransmit)
+	}
+	tw.Flush()
+}
+
+// RenderWindowDist prints the Fig. 6 histogram as ASCII.
+func RenderWindowDist(w io.Writer, res WindowDistResult) {
+	fmt.Fprintf(w, "n=%d buffer=%d pkts: aggregate window mean=%.1f stddev=%.1f KS=%.4f\n",
+		res.N, res.BufferPackets, res.Mean, res.StdDev, res.KS)
+	max := int64(0)
+	for i := 0; i < res.Histogram.NumBins(); i++ {
+		if _, c := res.Histogram.Bin(i); c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i := 0; i < res.Histogram.NumBins(); i++ {
+		center, count := res.Histogram.Bin(i)
+		bar := int(40 * count / max)
+		fmt.Fprintf(w, "%8.1f |%s\n", center, strings.Repeat("#", bar))
+	}
+}
+
+func roundMS(d units.Duration) string {
+	return fmt.Sprintf("%.1fms", d.Milliseconds())
+}

@@ -1,0 +1,149 @@
+// Package link models a unidirectional point-to-point link: a finite-rate
+// transmitter fed by an output queue, followed by a fixed propagation
+// delay. This is the "store-and-forward output-queued port" abstraction
+// the paper's single-bottleneck analysis assumes.
+//
+// Utilization — the paper's primary metric — is measured here exactly:
+// the transmitter accumulates busy time, so utilization over a window is
+// busy-time divided by wall-time with no sampling error.
+package link
+
+import (
+	"bufsim/internal/packet"
+	"bufsim/internal/queue"
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+// Link is a unidirectional link. Create with New; a Link must not be
+// copied after first use.
+type Link struct {
+	name  string
+	sched *sim.Scheduler
+	rate  units.BitRate
+	delay units.Duration
+	q     queue.Queue
+	dst   packet.Handler
+
+	busy      bool
+	busySince units.Time
+	busyTotal units.Duration
+
+	deliveredPackets int64
+	deliveredBytes   units.ByteSize
+
+	// OnDequeue, if set, observes each packet as it begins transmission
+	// together with the queueing delay it experienced. Experiments use it
+	// to build queueing-delay distributions.
+	OnDequeue func(p *packet.Packet, queued units.Duration)
+	// OnDrop, if set, observes packets rejected by the queue.
+	OnDrop func(p *packet.Packet)
+}
+
+// New returns a link transmitting at rate with one-way propagation delay d,
+// buffered by q, delivering to dst.
+func New(name string, sched *sim.Scheduler, rate units.BitRate, d units.Duration, q queue.Queue, dst packet.Handler) *Link {
+	if rate <= 0 {
+		panic("link: non-positive rate")
+	}
+	if d < 0 {
+		panic("link: negative delay")
+	}
+	return &Link{name: name, sched: sched, rate: rate, delay: d, q: q, dst: dst}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the link's transmission rate.
+func (l *Link) Rate() units.BitRate { return l.rate }
+
+// Delay returns the link's one-way propagation delay.
+func (l *Link) Delay() units.Duration { return l.delay }
+
+// Queue returns the link's output queue (for occupancy inspection).
+func (l *Link) Queue() queue.Queue { return l.q }
+
+// Handle implements packet.Handler so links compose directly with routers
+// and protocol agents.
+func (l *Link) Handle(p *packet.Packet) { l.Send(p) }
+
+// Send offers a packet to the link. If the output queue rejects it the
+// packet is dropped silently (TCP discovers the loss end-to-end, exactly
+// as with a real drop-tail router).
+func (l *Link) Send(p *packet.Packet) {
+	now := l.sched.Now()
+	if !l.q.Enqueue(p, now) {
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return
+	}
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+// startNext begins transmitting the head-of-line packet. Caller guarantees
+// the transmitter is idle and the queue non-empty.
+func (l *Link) startNext() {
+	now := l.sched.Now()
+	p := l.q.Dequeue(now)
+	if p == nil {
+		return
+	}
+	if l.OnDequeue != nil {
+		l.OnDequeue(p, now.Sub(p.Enqueued))
+	}
+	l.busy = true
+	l.busySince = now
+	tx := units.TransmissionTime(p.Size, l.rate)
+	l.sched.After(tx, func() { l.finishTransmit(p) })
+}
+
+// finishTransmit fires when the last bit of p leaves the transmitter: the
+// packet enters the wire (propagation), and the next queued packet can
+// start immediately.
+func (l *Link) finishTransmit(p *packet.Packet) {
+	now := l.sched.Now()
+	l.busy = false
+	l.busyTotal += now.Sub(l.busySince)
+	l.deliveredPackets++
+	l.deliveredBytes += p.Size
+
+	if l.delay == 0 {
+		l.dst.Handle(p)
+	} else {
+		l.sched.After(l.delay, func() { l.dst.Handle(p) })
+	}
+	if l.q.Len() > 0 {
+		l.startNext()
+	}
+}
+
+// BusyTime returns the cumulative time the transmitter has spent sending,
+// including the in-progress transmission up to now.
+func (l *Link) BusyTime() units.Duration {
+	t := l.busyTotal
+	if l.busy {
+		t += l.sched.Now().Sub(l.busySince)
+	}
+	return t
+}
+
+// Utilization returns the fraction of the window [from, now] the
+// transmitter was busy, given the busy time previously snapshotted at
+// `from` (see BusyTime). Returns 0 for an empty window.
+func (l *Link) Utilization(busyAtFrom units.Duration, from units.Time) float64 {
+	window := l.sched.Now().Sub(from)
+	if window <= 0 {
+		return 0
+	}
+	return float64(l.BusyTime()-busyAtFrom) / float64(window)
+}
+
+// DeliveredPackets returns the count of fully transmitted packets.
+func (l *Link) DeliveredPackets() int64 { return l.deliveredPackets }
+
+// DeliveredBytes returns the bytes fully transmitted.
+func (l *Link) DeliveredBytes() units.ByteSize { return l.deliveredBytes }

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+
+	"bufsim/internal/units"
+)
+
+// The paper's §1.3 memory-technology constants (2004 vintage, kept as the
+// defaults so the paper's worked examples reproduce; all overridable via
+// MemoryTech).
+const (
+	// SRAMChipBits is "the largest commercial SRAM chip today is
+	// 36Mbits".
+	SRAMChipBits = 36e6
+	// DRAMChipBits is "DRAM devices are available up to 1Gbit".
+	DRAMChipBits = 1e9
+	// DRAMAccessTime is "DRAM has a random access time of about 50ns".
+	DRAMAccessTime = 50 * units.Nanosecond
+	// SRAMAccessTime is a typical 2004 SRAM random-access time.
+	SRAMAccessTime = 4 * units.Nanosecond
+	// MinPacket is the minimum-length packet (40 bytes) whose arrival
+	// rate sets the memory-bandwidth requirement.
+	MinPacket units.ByteSize = 40
+	// EmbeddedDRAMBits is "commercial packet processor ASICs have been
+	// built with 256Mbits of embedded DRAM" — the on-chip budget that
+	// makes buffers of ~2% of the delay-bandwidth product attractive.
+	EmbeddedDRAMBits = 256e6
+)
+
+// MemoryTech describes a buffer memory technology.
+type MemoryTech struct {
+	Name       string
+	ChipBits   float64
+	AccessTime units.Duration
+}
+
+// SRAM and DRAM return the paper's reference technologies.
+func SRAM() MemoryTech {
+	return MemoryTech{Name: "SRAM", ChipBits: SRAMChipBits, AccessTime: SRAMAccessTime}
+}
+
+// DRAM returns the paper's reference DRAM technology.
+func DRAM() MemoryTech {
+	return MemoryTech{Name: "DRAM", ChipBits: DRAMChipBits, AccessTime: DRAMAccessTime}
+}
+
+// ChipsNeeded returns how many devices hold a buffer of the given size.
+func (t MemoryTech) ChipsNeeded(buffer units.ByteSize) int {
+	if buffer <= 0 {
+		return 0
+	}
+	bits := float64(buffer.Bits())
+	n := int(bits / t.ChipBits)
+	if float64(n)*t.ChipBits < bits {
+		n++
+	}
+	return n
+}
+
+// PacketInterval returns how often a minimum-length packet can arrive and
+// depart on a line of the given rate — the §1.3 "a minimum length (40
+// byte) packet can arrive and depart every 8ns" for 40 Gb/s. A buffer
+// memory must complete a random access in half this interval (one write
+// and one read per packet time).
+func PacketInterval(rate units.BitRate) units.Duration {
+	return units.TransmissionTime(MinPacket, rate)
+}
+
+// KeepsUp reports whether a single device of this technology can sustain
+// the per-packet access rate of a line at the given rate.
+func (t MemoryTech) KeepsUp(rate units.BitRate) bool {
+	return 2*t.AccessTime <= PacketInterval(rate)
+}
+
+// BufferFeasibility is the §1.3 design summary for one buffer size on one
+// line rate.
+type BufferFeasibility struct {
+	Rate   units.BitRate
+	Buffer units.ByteSize
+
+	SRAMChips int
+	DRAMChips int
+	// DRAMKeepsUp is whether DRAM's 50ns random access meets the
+	// per-packet deadline (it stops doing so around 1.6 Gb/s; beyond
+	// that, designs need wide parallel banks or SRAM caches).
+	DRAMKeepsUp bool
+	// FitsOnChip is whether the buffer fits in a single packet
+	// processor's embedded DRAM — the paper's end goal for the sqrt(n)
+	// rule.
+	FitsOnChip bool
+}
+
+// Feasibility evaluates a buffer size against the paper's memory
+// technologies.
+func Feasibility(rate units.BitRate, buffer units.ByteSize) BufferFeasibility {
+	return BufferFeasibility{
+		Rate:        rate,
+		Buffer:      buffer,
+		SRAMChips:   SRAM().ChipsNeeded(buffer),
+		DRAMChips:   DRAM().ChipsNeeded(buffer),
+		DRAMKeepsUp: DRAM().KeepsUp(rate),
+		FitsOnChip:  float64(buffer.Bits()) <= EmbeddedDRAMBits,
+	}
+}
+
+// String renders the feasibility verdict like the paper's §1.3 narrative.
+func (f BufferFeasibility) String() string {
+	verdict := "needs external memory"
+	if f.FitsOnChip {
+		verdict = "fits in on-chip embedded DRAM"
+	}
+	return fmt.Sprintf("%v buffer on a %v line: %d SRAM chips or %d DRAM chips (DRAM keeps up: %v); %s",
+		f.Buffer, f.Rate, f.SRAMChips, f.DRAMChips, f.DRAMKeepsUp, verdict)
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"bufsim/internal/units"
+)
+
+func TestPaperWorkedExample40G(t *testing.T) {
+	// §1.3: a 40 Gb/s linecard with 250 ms of buffering has 10 Gbits
+	// (1.25 GB); "a 40Gb/s linecard would require over 300 [SRAM] chips"
+	// and "If instead we try to build the linecard using DRAM, we would
+	// just need 10 devices".
+	buffer := units.BytesInFlight(40*units.Gbps, 250*units.Millisecond)
+	if buffer != 1250000000 {
+		t.Fatalf("buffer = %d bytes, want 1.25GB", buffer)
+	}
+	f := Feasibility(40*units.Gbps, buffer)
+	// Raw capacity division gives 278 chips; the paper's "over 300"
+	// includes per-chip overhead. Same order, same conclusion ("the
+	// board too large, too expensive and too hot").
+	if f.SRAMChips != 278 {
+		t.Errorf("SRAMChips = %d, want 278 (paper: 'over 300' incl. overhead)", f.SRAMChips)
+	}
+	if f.DRAMChips != 10 {
+		t.Errorf("DRAMChips = %d, paper says 10", f.DRAMChips)
+	}
+	// "a minimum length (40byte) packet can arrive and depart every 8ns"
+	if got := PacketInterval(40 * units.Gbps); got != 8*units.Nanosecond {
+		t.Errorf("PacketInterval = %v, want 8ns", got)
+	}
+	// "DRAM has a random access time of about 50ns, which is hard to use"
+	if f.DRAMKeepsUp {
+		t.Error("DRAM should not keep up with 40 Gb/s")
+	}
+	if f.FitsOnChip {
+		t.Error("1.25 GB should not fit on chip")
+	}
+}
+
+func TestSqrtRuleBufferFitsOnChip(t *testing.T) {
+	// The abstract: "a 10Gb/s link carrying 50,000 flows requires only
+	// 10Mbits of buffering, which can easily be implemented using fast,
+	// on-chip SRAM".
+	pkts := SqrtRulePackets(250*units.Millisecond, 10*units.Gbps, 1000, 50000)
+	buffer := units.ByteSize(pkts) * 1000
+	f := Feasibility(10*units.Gbps, buffer)
+	if !f.FitsOnChip {
+		t.Errorf("sqrt-rule backbone buffer (%v) should fit on chip", buffer)
+	}
+	if f.SRAMChips != 1 {
+		t.Errorf("SRAMChips = %d, want 1", f.SRAMChips)
+	}
+}
+
+func TestKeepsUpThreshold(t *testing.T) {
+	// DRAM (50ns access, 100ns per write+read) keeps up while the 40-byte
+	// packet interval is >= 100ns: up to 3.2 Gb/s.
+	if !DRAM().KeepsUp(3 * units.Gbps) {
+		t.Error("DRAM should keep up at 3 Gb/s")
+	}
+	if DRAM().KeepsUp(4 * units.Gbps) {
+		t.Error("DRAM should not keep up at 4 Gb/s")
+	}
+	// SRAM at 4ns handles 40 Gb/s (8ns interval).
+	if !SRAM().KeepsUp(40 * units.Gbps) {
+		t.Error("SRAM should keep up at 40 Gb/s")
+	}
+}
+
+func TestChipsNeededEdges(t *testing.T) {
+	if got := SRAM().ChipsNeeded(0); got != 0 {
+		t.Errorf("ChipsNeeded(0) = %d", got)
+	}
+	// Exactly one chip's worth.
+	oneChip := units.ByteSize(SRAMChipBits / 8)
+	if got := SRAM().ChipsNeeded(oneChip); got != 1 {
+		t.Errorf("ChipsNeeded(36Mbit) = %d, want 1", got)
+	}
+	if got := SRAM().ChipsNeeded(oneChip + 1); got != 2 {
+		t.Errorf("ChipsNeeded(36Mbit+1B) = %d, want 2", got)
+	}
+}
+
+func TestFeasibilityString(t *testing.T) {
+	s := Feasibility(10*units.Gbps, 1250*units.Kilobyte).String()
+	if !strings.Contains(s, "SRAM") || !strings.Contains(s, "on-chip") {
+		t.Errorf("String() = %q", s)
+	}
+	big := Feasibility(40*units.Gbps, units.Gigabyte).String()
+	if !strings.Contains(big, "external") {
+		t.Errorf("String() = %q", big)
+	}
+}

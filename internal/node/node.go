@@ -1,0 +1,91 @@
+// Package node provides the two kinds of network elements the topologies
+// are wired from: Routers (output-queued, statically routed) and Hosts
+// (endpoints that demultiplex packets to protocol agents by flow).
+package node
+
+import (
+	"fmt"
+
+	"bufsim/internal/packet"
+)
+
+// Router forwards packets toward their destination over per-destination
+// next hops. It is output-queued: the only buffering is in each output
+// link's queue, which is the router-buffer B the paper sizes. Forwarding
+// itself is instantaneous (the paper's experiments never stress the
+// switching fabric; its GSR showed "no input queueing"). A next hop is
+// usually a *link.Link, but locally attached hosts can be wired directly.
+type Router struct {
+	id     packet.NodeID
+	name   string
+	routes map[packet.NodeID]packet.Handler
+}
+
+// NewRouter returns an empty router.
+func NewRouter(id packet.NodeID, name string) *Router {
+	return &Router{id: id, name: name, routes: make(map[packet.NodeID]packet.Handler)}
+}
+
+// ID returns the router's node ID.
+func (r *Router) ID() packet.NodeID { return r.id }
+
+// AddRoute directs traffic for dst to the next hop. Adding a duplicate
+// route panics: topologies are static and a silent overwrite hides wiring
+// bugs.
+func (r *Router) AddRoute(dst packet.NodeID, next packet.Handler) {
+	if _, ok := r.routes[dst]; ok {
+		panic(fmt.Sprintf("node: router %s already has a route for %d", r.name, dst))
+	}
+	r.routes[dst] = next
+}
+
+// Handle implements packet.Handler by forwarding to the route for the
+// packet's destination. An unroutable packet panics — topologies are
+// closed worlds and a miss means mis-wiring, not a runtime condition.
+func (r *Router) Handle(p *packet.Packet) {
+	next, ok := r.routes[p.Dst]
+	if !ok {
+		panic(fmt.Sprintf("node: router %s has no route for %v", r.name, p))
+	}
+	next.Handle(p)
+}
+
+// Host is an endpoint. Each flow terminating at the host registers an
+// agent; incoming packets demultiplex by flow ID.
+type Host struct {
+	id     packet.NodeID
+	name   string
+	agents map[packet.FlowID]packet.Handler
+}
+
+// NewHost returns an empty host.
+func NewHost(id packet.NodeID, name string) *Host {
+	return &Host{id: id, name: name, agents: make(map[packet.FlowID]packet.Handler)}
+}
+
+// ID returns the host's node ID.
+func (h *Host) ID() packet.NodeID { return h.id }
+
+// Attach registers an agent to receive packets for flow f.
+func (h *Host) Attach(f packet.FlowID, agent packet.Handler) {
+	if _, ok := h.agents[f]; ok {
+		panic(fmt.Sprintf("node: host %s already has an agent for flow %d", h.name, f))
+	}
+	h.agents[f] = agent
+}
+
+// Detach removes a finished flow's agent so long-running workloads (the
+// Poisson short-flow generators) do not accumulate state. Packets still in
+// flight for a detached flow are dropped silently.
+func (h *Host) Detach(f packet.FlowID) {
+	delete(h.agents, f)
+}
+
+// Handle implements packet.Handler.
+func (h *Host) Handle(p *packet.Packet) {
+	if a, ok := h.agents[p.Flow]; ok {
+		a.Handle(p)
+	}
+	// Packets for detached (finished) flows fall on the floor, like a
+	// host RST-ing a closed port.
+}

@@ -1,0 +1,119 @@
+// Package packet defines the unit of data the simulator moves around.
+//
+// Following the paper's presentation, TCP windows are counted in
+// fixed-size segments; a Packet is one such segment (or a pure ACK). A
+// packet carries just enough header state for a Reno implementation:
+// sequence/ack numbers in segment units, flags, and the addressing the
+// routers forward on.
+package packet
+
+import (
+	"fmt"
+
+	"bufsim/internal/units"
+)
+
+// NodeID identifies a host or router in a topology.
+type NodeID int32
+
+// FlowID identifies a TCP flow (a sender/receiver pair).
+type FlowID int32
+
+// Flags mark the kind of segment.
+type Flags uint8
+
+// Packet flag bits. The ECN bits follow RFC 3168's roles: ECT marks a
+// packet from an ECN-capable transport, CE is stamped by an AQM queue in
+// place of dropping, and ECE is the receiver echoing congestion back to
+// the sender on ACKs.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagECT // ECN-capable transport
+	FlagCE  // congestion experienced (set by the queue)
+	FlagECE // echo of CE (set by the receiver on ACKs)
+)
+
+func (f Flags) String() string {
+	s := ""
+	if f&FlagSYN != 0 {
+		s += "S"
+	}
+	if f&FlagACK != 0 {
+		s += "A"
+	}
+	if f&FlagFIN != 0 {
+		s += "F"
+	}
+	if f&FlagECT != 0 {
+		s += "e"
+	}
+	if f&FlagCE != 0 {
+		s += "c"
+	}
+	if f&FlagECE != 0 {
+		s += "E"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Packet is one segment in flight. Packets are heap-allocated and shared
+// by reference along the path; components must not retain a packet after
+// handing it downstream.
+type Packet struct {
+	Flow FlowID
+	Src  NodeID
+	Dst  NodeID
+
+	// Seq is the segment sequence number (data packets) and Ack is the
+	// cumulative acknowledgement (ACK packets): "every segment below Ack
+	// has been received".
+	Seq int64
+	Ack int64
+
+	// Sack carries up to three selective-acknowledgement blocks on ACK
+	// packets: [start, end) ranges of segments received above Ack. Nil
+	// when the receiver has nothing out of order (or SACK is disabled).
+	Sack [][2]int64
+
+	Flags Flags
+
+	// Size is the wire size in bytes, including an idealized header.
+	Size units.ByteSize
+
+	// Sent is when the sender's TCP put the packet on its access link;
+	// used for RTT sampling. Retransmitted marks retransmissions so RTT
+	// samples obey Karn's rule.
+	Sent          units.Time
+	Retransmitted bool
+
+	// Enqueued is stamped by a queue when the packet is accepted, so the
+	// queueing delay can be measured at dequeue.
+	Enqueued units.Time
+}
+
+// IsAck reports whether the packet is a pure acknowledgement.
+func (p *Packet) IsAck() bool { return p.Flags&FlagACK != 0 }
+
+func (p *Packet) String() string {
+	if p.IsAck() {
+		return fmt.Sprintf("flow %d ack %d (%s, %dB)", p.Flow, p.Ack, p.Flags, p.Size)
+	}
+	return fmt.Sprintf("flow %d seq %d (%s, %dB)", p.Flow, p.Seq, p.Flags, p.Size)
+}
+
+// Handler consumes packets; links deliver to Handlers, routers and hosts
+// implement it.
+type Handler interface {
+	Handle(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// Handle calls f(p).
+func (f HandlerFunc) Handle(p *Packet) { f(p) }

@@ -1,0 +1,57 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlagsString(t *testing.T) {
+	cases := []struct {
+		f    Flags
+		want string
+	}{
+		{0, "-"},
+		{FlagSYN, "S"},
+		{FlagACK, "A"},
+		{FlagFIN, "F"},
+		{FlagSYN | FlagACK, "SA"},
+		{FlagSYN | FlagACK | FlagFIN, "SAF"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Flags(%d).String() = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestIsAck(t *testing.T) {
+	data := &Packet{Seq: 5, Size: 1000}
+	if data.IsAck() {
+		t.Error("data packet reported as ACK")
+	}
+	ack := &Packet{Ack: 6, Flags: FlagACK, Size: 40}
+	if !ack.IsAck() {
+		t.Error("ACK not recognized")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	data := &Packet{Flow: 3, Seq: 17, Size: 1000}
+	if s := data.String(); !strings.Contains(s, "seq 17") || !strings.Contains(s, "flow 3") {
+		t.Errorf("data String() = %q", s)
+	}
+	ack := &Packet{Flow: 3, Ack: 18, Flags: FlagACK, Size: 40}
+	if s := ack.String(); !strings.Contains(s, "ack 18") {
+		t.Errorf("ack String() = %q", s)
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	var got *Packet
+	h := HandlerFunc(func(p *Packet) { got = p })
+	p := &Packet{Seq: 1}
+	h.Handle(p)
+	if got != p {
+		t.Error("HandlerFunc did not forward the packet")
+	}
+}

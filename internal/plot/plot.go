@@ -1,0 +1,247 @@
+// Package plot renders simple, dependency-free SVG line and scatter
+// charts. It exists so cmd/paperexp can emit the paper's figures as
+// actual image files, not just CSV: a cwnd sawtooth, a histogram against
+// its normal fit, the min-buffer-vs-n curve.
+//
+// The feature set is deliberately small: linear or log axes with "nice"
+// ticks, multiple named series (lines or points), a legend, and labels.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette holds the series colours, chosen for contrast on white.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Style selects how a series is drawn.
+type Style int
+
+// Series styles.
+const (
+	Line Style = iota
+	Points
+	LinePoints
+)
+
+type series struct {
+	name   string
+	xs, ys []float64
+	style  Style
+}
+
+// Chart is a single plot. Configure the exported fields, add series, then
+// Render.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height default to 640x420.
+	Width, Height int
+	// XLog / YLog select logarithmic axes; values must be positive.
+	XLog, YLog bool
+
+	series []series
+}
+
+// Add appends a named series with the given style. Lengths must match and
+// be nonzero.
+func (c *Chart) Add(name string, style Style, xs, ys []float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic(fmt.Sprintf("plot: series %q has %d xs and %d ys", name, len(xs), len(ys)))
+	}
+	c.series = append(c.series, series{name: name, xs: xs, ys: ys, style: style})
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 420
+	}
+	const (
+		left, right, top, bottom = 70, 20, 36, 52
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	xmin, xmax, err := c.rangeOf(true)
+	if err != nil {
+		return err
+	}
+	ymin, ymax, err := c.rangeOf(false)
+	if err != nil {
+		return err
+	}
+
+	sx := func(x float64) float64 {
+		return float64(left) + plotW*frac(x, xmin, xmax, c.XLog)
+	}
+	sy := func(y float64) float64 {
+		return float64(top) + plotH*(1-frac(y, ymin, ymax, c.YLog))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+
+	// Axes box.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		left, top, plotW, plotH)
+
+	// Ticks and grid.
+	for _, t := range ticks(xmin, xmax, c.XLog) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			x, top, x, float64(top)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, float64(top)+plotH+16, tickLabel(t))
+	}
+	for _, t := range ticks(ymin, ymax, c.YLog) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			left, y, float64(left)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			left-6, y+4, tickLabel(t))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			left+int(plotW)/2, height-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			top+int(plotH)/2, top+int(plotH)/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for i, s := range c.series {
+		color := palette[i%len(palette)]
+		if s.style == Line || s.style == LinePoints {
+			var pts []string
+			for j := range s.xs {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.xs[j]), sy(s.ys[j])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		if s.style == Points || s.style == LinePoints {
+			for j := range s.xs {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+					sx(s.xs[j]), sy(s.ys[j]), color)
+			}
+		}
+		// Legend entry.
+		lx := left + 12
+		ly := top + 14 + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly+4, escape(s.name))
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// rangeOf computes the data range across series for one axis.
+func (c *Chart) rangeOf(xAxis bool) (lo, hi float64, err error) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	log := c.YLog
+	if xAxis {
+		log = c.XLog
+	}
+	for _, s := range c.series {
+		vals := s.ys
+		if xAxis {
+			vals = s.xs
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, 0, fmt.Errorf("plot: series %q contains non-finite values", s.name)
+			}
+			if log && v <= 0 {
+				return 0, 0, fmt.Errorf("plot: series %q has non-positive value %v on a log axis", s.name, v)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo == hi {
+		if log {
+			lo, hi = lo/2, hi*2
+		} else {
+			lo, hi = lo-1, hi+1
+		}
+	}
+	return lo, hi, nil
+}
+
+// frac maps v into [0,1] within [lo,hi], linearly or logarithmically.
+func frac(v, lo, hi float64, log bool) float64 {
+	if log {
+		return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// ticks returns 4-8 "nice" tick positions covering [lo, hi].
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+			t := math.Pow(10, e)
+			if t >= lo/1.001 && t <= hi*1.001 {
+				out = append(out, t)
+			}
+		}
+		if len(out) >= 2 {
+			return out
+		}
+		// Fewer than two decades: fall back to linear ticks.
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	switch {
+	case span/step > 8:
+		step *= 2
+	case span/step < 3:
+		step /= 2
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi*1.0001; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// tickLabel formats a tick value compactly.
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

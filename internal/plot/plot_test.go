@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderToString(t *testing.T, c *Chart) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRenderWellFormedSVG(t *testing.T) {
+	c := &Chart{Title: "sawtooth", XLabel: "t (s)", YLabel: "W (pkts)"}
+	c.Add("cwnd", Line, []float64{0, 1, 2, 3}, []float64{125, 190, 250, 130})
+	c.Add("queue", LinePoints, []float64{0, 1, 2, 3}, []float64{0, 60, 125, 5})
+	out := renderToString(t, c)
+	// The output must be one well-formed XML document.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "circle", "sawtooth", "cwnd", "queue", "W (pkts)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRenderEscapesLabels(t *testing.T) {
+	c := &Chart{Title: "a < b & c"}
+	c.Add("s<1>", Line, []float64{0, 1}, []float64{0, 1})
+	out := renderToString(t, c)
+	if strings.Contains(out, "a < b & c") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "a &lt; b &amp; c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	c := &Chart{XLog: true, YLog: true}
+	c.Add("curve", LinePoints, []float64{1, 10, 100, 1000}, []float64{5, 50, 500, 5000})
+	out := renderToString(t, c)
+	if !strings.Contains(out, "polyline") {
+		t.Error("no polyline")
+	}
+	// Log-spaced points must land equally spaced horizontally: extract is
+	// overkill; just ensure render didn't error and produced circles.
+	if strings.Count(out, "<circle") != 4 {
+		t.Errorf("want 4 circles, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	empty := &Chart{}
+	if err := empty.Render(&strings.Builder{}); err == nil {
+		t.Error("empty chart rendered")
+	}
+	bad := &Chart{YLog: true}
+	bad.Add("neg", Line, []float64{1, 2}, []float64{-1, 1})
+	if err := bad.Render(&strings.Builder{}); err == nil {
+		t.Error("negative value on log axis rendered")
+	}
+	nan := &Chart{}
+	nan.Add("nan", Line, []float64{1, 2}, []float64{math.NaN(), 1})
+	if err := nan.Render(&strings.Builder{}); err == nil {
+		t.Error("NaN rendered")
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched series did not panic")
+		}
+	}()
+	(&Chart{}).Add("bad", Line, []float64{1}, []float64{1, 2})
+}
+
+func TestTicksNice(t *testing.T) {
+	ts := ticks(0, 100, false)
+	if len(ts) < 3 || len(ts) > 12 {
+		t.Errorf("ticks(0,100) = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	lts := ticks(1, 1000, true)
+	want := []float64{1, 10, 100, 1000}
+	if len(lts) != 4 {
+		t.Fatalf("log ticks = %v, want %v", lts, want)
+	}
+	for i := range want {
+		if math.Abs(lts[i]-want[i]) > 1e-9 {
+			t.Fatalf("log ticks = %v", lts)
+		}
+	}
+	// Sub-decade log range falls back to linear.
+	if got := ticks(2, 5, true); len(got) < 2 {
+		t.Errorf("sub-decade log ticks = %v", got)
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	cases := map[float64]string{
+		0.5:     "0.5",
+		100:     "100",
+		20000:   "20k",
+		3500000: "3.5M",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestConstantSeriesRange(t *testing.T) {
+	c := &Chart{}
+	c.Add("flat", Line, []float64{0, 1, 2}, []float64{7, 7, 7})
+	out := renderToString(t, c)
+	if !strings.Contains(out, "polyline") {
+		t.Error("flat series failed to render")
+	}
+}

@@ -1,0 +1,55 @@
+package queue
+
+import (
+	"testing"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/units"
+)
+
+// Microbenchmarks for the per-packet hot path: every simulated packet
+// passes Enqueue+Dequeue once per hop, so these costs bound the whole
+// simulator's throughput.
+
+func BenchmarkDropTailEnqueueDequeue(b *testing.B) {
+	q := NewDropTail(PacketLimit(1024))
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Seq: int64(i), Size: 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkts[i%len(pkts)], units.Time(i))
+		q.Dequeue(units.Time(i))
+	}
+}
+
+func BenchmarkREDEnqueueDequeue(b *testing.B) {
+	rng := func() float64 { return 0.42 }
+	q := NewRED(DefaultRED(1024, units.Microsecond, rng))
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Seq: int64(i), Size: 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkts[i%len(pkts)], units.Time(i))
+		q.Dequeue(units.Time(i))
+	}
+}
+
+func BenchmarkCoDelEnqueueDequeue(b *testing.B) {
+	q := NewCoDel(CoDelConfig{Limit: PacketLimit(1024)})
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Seq: int64(i), Size: 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkts[i%len(pkts)], units.Time(i))
+		q.Dequeue(units.Time(i) + units.Time(units.Millisecond))
+	}
+}

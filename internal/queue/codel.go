@@ -1,0 +1,163 @@
+package queue
+
+import (
+	"math"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/units"
+)
+
+// CoDelConfig parameterizes Controlled Delay AQM (Nichols & Jacobson,
+// 2012). CoDel postdates the paper, but it attacks the same problem from
+// the delay side: instead of sizing the buffer, it bounds the *sojourn
+// time* packets experience, dropping at an increasing rate while the
+// minimum sojourn over an interval stays above target. Including it lets
+// the buffer-sizing experiments ask the modern question: does a
+// delay-managed queue make the sqrt(n) capacity question moot?
+type CoDelConfig struct {
+	Limit Limit // hard physical capacity (tail-drop beyond)
+
+	// Target is the acceptable standing sojourn time (default 5 ms).
+	Target units.Duration
+	// Interval is the sliding window over which the minimum sojourn must
+	// dip below Target (default 100 ms).
+	Interval units.Duration
+}
+
+func (c CoDelConfig) withDefaults() CoDelConfig {
+	if c.Target == 0 {
+		c.Target = 5 * units.Millisecond
+	}
+	if c.Interval == 0 {
+		c.Interval = 100 * units.Millisecond
+	}
+	return c
+}
+
+// CoDel implements the CoDel AQM: drops happen at dequeue, driven by
+// packet sojourn times, at a rate that increases with the square root of
+// the drop count while the queue stays bad.
+type CoDel struct {
+	cfg   CoDelConfig
+	q     fifo
+	stats Stats
+
+	// firstAbove is when the sojourn first exceeded Target with no dip
+	// since; zero means "currently below target".
+	firstAbove units.Time
+	dropping   bool
+	dropNext   units.Time
+	count      int
+
+	// SojournDrops counts packets dropped by the control law (as opposed
+	// to tail drops at the physical limit).
+	SojournDrops int64
+}
+
+// NewCoDel returns a CoDel queue.
+func NewCoDel(cfg CoDelConfig) *CoDel {
+	return &CoDel{cfg: cfg.withDefaults()}
+}
+
+// Enqueue implements Queue: admission is only bounded by the physical
+// limit; the control law acts at dequeue.
+func (c *CoDel) Enqueue(p *packet.Packet, now units.Time) bool {
+	if !c.cfg.Limit.admits(c.q.count, c.q.bytes, p.Size) {
+		c.stats.DroppedPackets++
+		c.stats.DroppedBytes += p.Size
+		return false
+	}
+	p.Enqueued = now
+	c.q.push(p)
+	c.stats.EnqueuedPackets++
+	c.stats.EnqueuedBytes += p.Size
+	return true
+}
+
+// controlLaw returns the next drop time after t for the current count.
+func (c *CoDel) controlLaw(t units.Time) units.Time {
+	return t.Add(units.Duration(float64(c.cfg.Interval) / math.Sqrt(float64(c.count))))
+}
+
+// doDequeue pops one packet and reports whether its sojourn was above
+// target (maintaining firstAbove).
+func (c *CoDel) doDequeue(now units.Time) (*packet.Packet, bool) {
+	p := c.q.pop()
+	if p == nil {
+		c.firstAbove = 0
+		return nil, false
+	}
+	sojourn := now.Sub(p.Enqueued)
+	if sojourn < c.cfg.Target || c.q.bytes < 1500 {
+		// Below target (or nearly empty): reset the above-target clock.
+		c.firstAbove = 0
+		return p, false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now.Add(c.cfg.Interval)
+		return p, false
+	}
+	return p, now >= c.firstAbove
+}
+
+// Dequeue implements Queue with the CoDel state machine.
+func (c *CoDel) Dequeue(now units.Time) *packet.Packet {
+	p, okToDrop := c.doDequeue(now)
+	if p == nil {
+		c.dropping = false
+		return nil
+	}
+	if c.dropping {
+		if !okToDrop {
+			c.dropping = false
+		} else {
+			for now >= c.dropNext && c.dropping {
+				c.drop(p)
+				c.count++
+				p, okToDrop = c.doDequeue(now)
+				if p == nil {
+					c.dropping = false
+					return nil
+				}
+				if !okToDrop {
+					c.dropping = false
+				} else {
+					c.dropNext = c.controlLaw(c.dropNext)
+				}
+			}
+		}
+	} else if okToDrop {
+		// Enter dropping state.
+		c.drop(p)
+		c.count++
+		p, _ = c.doDequeue(now)
+		c.dropping = true
+		// Start the next drop soon if we were dropping recently (keeps
+		// the rate ramping instead of restarting), else one interval out.
+		if c.count > 2 && now.Sub(c.dropNext) < 8*c.cfg.Interval {
+			c.count -= 2
+		} else {
+			c.count = 1
+		}
+		c.dropNext = c.controlLaw(now)
+	}
+	if p != nil {
+		c.stats.DequeuedPackets++
+	}
+	return p
+}
+
+func (c *CoDel) drop(p *packet.Packet) {
+	c.stats.DroppedPackets++
+	c.stats.DroppedBytes += p.Size
+	c.SojournDrops++
+}
+
+// Len implements Queue.
+func (c *CoDel) Len() int { return c.q.count }
+
+// Bytes implements Queue.
+func (c *CoDel) Bytes() units.ByteSize { return c.q.bytes }
+
+// Stats implements Queue.
+func (c *CoDel) Stats() Stats { return c.stats }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a deterministic pseudo-random source with the distributions the
+// workload generators need. Each component takes its own stream (via Fork)
+// so that adding randomness to one component does not perturb another —
+// a property ns-2 users rely on when comparing scenarios.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream from this one. The derived stream is a
+// pure function of the parent's state, so a simulation seeded once is fully
+// reproducible regardless of how many components fork streams, as long as
+// the fork order is deterministic (it is: component construction order).
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It is the inter-arrival time distribution of a Poisson process.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normally distributed value.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Pareto returns a value from a Pareto distribution with the given shape
+// (alpha) and scale (minimum value). For alpha <= 1 the mean is infinite;
+// workloads use BoundedPareto instead so that the offered load is finite.
+func (g *RNG) Pareto(shape, scale float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return scale / math.Pow(u, 1/shape)
+}
+
+// BoundedPareto returns a value from a Pareto distribution truncated to
+// [lo, hi] by inverse-CDF sampling, preserving the heavy tail below the
+// bound. Flow-size distributions in the paper's "production mix" are
+// heavy-tailed; bounding keeps E[X] and E[X^2] finite so the load can be
+// controlled.
+func (g *RNG) BoundedPareto(shape, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	u := g.r.Float64()
+	la := math.Pow(lo, shape)
+	ha := math.Pow(hi, shape)
+	// Inverse CDF of the truncated Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/shape)
+	return math.Min(math.Max(x, lo), hi)
+}
+
+// Geometric returns a geometrically distributed value in {1, 2, ...} with
+// the given mean (mean must be >= 1).
+func (g *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return 1 + int(math.Log(u)/math.Log(1-p))
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

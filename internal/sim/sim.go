@@ -1,0 +1,165 @@
+// Package sim implements the discrete-event simulation kernel that drives
+// everything else: a clock, a pending-event heap, and cancellable timers.
+//
+// The kernel is deliberately single-threaded. Determinism matters more for
+// a reproduction study than parallel speed: two runs with the same seed
+// must schedule, drop and acknowledge exactly the same packets. Events at
+// the same instant fire in the order they were scheduled (stable FIFO
+// tie-break by sequence number).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bufsim/internal/units"
+)
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Scheduler.At / Scheduler.After.
+type Event struct {
+	at    units.Time
+	seq   uint64
+	index int // position in the heap, -1 once fired or cancelled
+	fn    func()
+}
+
+// Time returns the instant at which the event (is|was) scheduled to fire.
+func (e *Event) Time() units.Time { return e.at }
+
+// Cancelled reports whether the event has already fired or been cancelled.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// eventHeap orders events by time, then by scheduling sequence so that
+// simultaneous events fire in FIFO order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the simulation event loop. The zero value is not usable;
+// call NewScheduler.
+type Scheduler struct {
+	now     units.Time
+	seq     uint64
+	pending eventHeap
+	stopped bool
+
+	// Processed counts the events executed so far; useful for
+	// benchmarking the kernel itself.
+	Processed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at the simulation epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() units.Time { return s.now }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// At schedules fn to run at the absolute time t. Scheduling in the past
+// panics: it always indicates a logic error in a component, and silently
+// reordering time would corrupt every downstream measurement.
+func (s *Scheduler) At(t units.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pending, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d units.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// or was already cancelled is a no-op, so callers can cancel
+// unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.pending, e.index)
+	e.fn = nil
+}
+
+// Reschedule cancels e (if pending) and schedules fn at t, returning the
+// new event. It is the common pattern for retransmission timers.
+func (s *Scheduler) Reschedule(e *Event, t units.Time, fn func()) *Event {
+	s.Cancel(e)
+	return s.At(t, fn)
+}
+
+// Stop makes Run return after the event currently executing completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in order until the clock would pass `until`, no
+// events remain, or Stop is called. The clock is left at `until` (or at
+// the last event time if the queue drained first and that is earlier).
+func (s *Scheduler) Run(until units.Time) {
+	s.stopped = false
+	for len(s.pending) > 0 && !s.stopped {
+		next := s.pending[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.pending)
+		s.now = next.at
+		fn := next.fn
+		next.fn = nil
+		s.Processed++
+		fn()
+	}
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+}
+
+// Step executes exactly one event if any is pending and returns whether an
+// event was executed. Useful in tests.
+func (s *Scheduler) Step() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pending).(*Event)
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.Processed++
+	fn()
+	return true
+}

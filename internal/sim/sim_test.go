@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bufsim/internal/units"
+)
+
+func TestRunOrdersEvents(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now = %v, want 100", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := NewScheduler()
+	var fired units.Time
+	s.At(10, func() {
+		s.After(5, func() { fired = s.Now() })
+	})
+	s.Run(100)
+	if fired != 15 {
+		t.Errorf("After fired at %v, want 15", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run(100)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("event does not report cancelled")
+	}
+	// Double-cancel and cancel-nil must be safe.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(units.Time(i), func() { order = append(order, i) }))
+	}
+	// Cancel the even ones.
+	for i := 0; i < 20; i += 2 {
+		s.Cancel(events[i])
+	}
+	s.Run(100)
+	want := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	s := NewScheduler()
+	var fired []units.Time
+	e := s.At(10, func() { fired = append(fired, s.Now()) })
+	e = s.Reschedule(e, 20, func() { fired = append(fired, s.Now()) })
+	_ = e
+	s.Run(100)
+	if len(fired) != 1 || fired[0] != 20 {
+		t.Errorf("fired = %v, want [20]", fired)
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(50, func() { fired = true })
+	s.Run(49)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Now() != 49 {
+		t.Errorf("Now = %v, want 49", s.Now())
+	}
+	s.Run(50)
+	if !fired {
+		t.Error("event at horizon did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(units.Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Errorf("executed %d events after Stop, want 3", count)
+	}
+	// Run can resume.
+	s.Run(100)
+	if count != 10 {
+		t.Errorf("executed %d events total, want 10", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {})
+	s.Run(20)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestStep(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.At(1, func() { n++ })
+	s.At(2, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestHeapPropertyRandomOrder(t *testing.T) {
+	// Property: regardless of insertion order, events fire sorted by time.
+	f := func(times []uint16) bool {
+		s := NewScheduler()
+		var fired []units.Time
+		for _, tt := range times {
+			at := units.Time(tt)
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(units.Time(math.MaxUint16) + 1)
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventAccessorsAndCounters(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(25, func() {})
+	if e.Time() != 25 {
+		t.Errorf("Time = %v", e.Time())
+	}
+	if e.Cancelled() {
+		t.Error("pending event reports cancelled")
+	}
+	s.At(30, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run(100)
+	if s.Pending() != 0 {
+		t.Errorf("Pending after run = %d", s.Pending())
+	}
+	if s.Processed != 2 {
+		t.Errorf("Processed = %d, want 2", s.Processed)
+	}
+	if !e.Cancelled() {
+		t.Error("fired event should report cancelled/done")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(17)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(1)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	// The two forks must differ from each other.
+	diff := false
+	for i := 0; i < 10; i++ {
+		if f1.Float64() != f2.Float64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("forked streams identical")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("Exp mean = %v, want ~10", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(25, 300)
+		if v < 25 || v >= 300 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestBoundedParetoRangeAndTail(t *testing.T) {
+	g := NewRNG(11)
+	const n = 100000
+	count := 0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := g.BoundedPareto(1.2, 4, 10000)
+		if v < 4 || v > 10000 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+		sum += v
+		if v > 1000 {
+			count++
+		}
+	}
+	// Heavy tail: a visible fraction of samples exceed 250x the minimum.
+	if count == 0 {
+		t.Error("BoundedPareto produced no tail samples")
+	}
+	// Mean of a bounded Pareto(1.2, 4, 10000) is about 19.6.
+	mean := sum / n
+	if mean < 10 || mean > 35 {
+		t.Errorf("BoundedPareto mean = %v, want ~19.6", mean)
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	g := NewRNG(3)
+	if v := g.BoundedPareto(1.5, 10, 10); v != 10 {
+		t.Errorf("degenerate BoundedPareto = %v, want 10", v)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	g := NewRNG(5)
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := g.Geometric(14)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-14) > 0.5 {
+		t.Errorf("Geometric mean = %v, want ~14", mean)
+	}
+	if v := g.Geometric(0.5); v != 1 {
+		t.Errorf("Geometric(0.5) = %d, want 1", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Normal(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	// Measures raw kernel throughput: schedule + fire, with a rolling
+	// window of pending events, the pattern network simulations produce.
+	s := NewScheduler()
+	var tick func()
+	i := 0
+	tick = func() {
+		i++
+		if i < b.N {
+			s.After(10, tick)
+		}
+	}
+	for j := 0; j < 100 && j < b.N; j++ {
+		s.After(units.Duration(j), tick)
+	}
+	b.ResetTimer()
+	s.Run(units.Never - 1)
+}

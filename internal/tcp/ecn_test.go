@@ -1,0 +1,105 @@
+package tcp
+
+import (
+	"testing"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/units"
+)
+
+func TestECNSetsECTOnData(t *testing.T) {
+	c := newConn(Config{Flow: 1, ECN: true, TotalSegments: 5})
+	var sawECT, sawNonECT bool
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() {
+			if p.Flags&packet.FlagECT != 0 {
+				sawECT = true
+			} else {
+				sawNonECT = true
+			}
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(5 * units.Second))
+	if !sawECT || sawNonECT {
+		t.Errorf("ECT marking wrong: sawECT=%v sawNonECT=%v", sawECT, sawNonECT)
+	}
+}
+
+func TestECNMarkHalvesWindowOnce(t *testing.T) {
+	// CE-mark an entire window of packets in flight: the sender must
+	// halve exactly once, not once per mark.
+	c := newConn(Config{Flow: 1, ECN: true})
+	marking := false
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() && marking {
+			p.Flags |= packet.FlagCE
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(400 * units.Millisecond)) // grow a bit
+	before := c.snd.Cwnd()
+	marking = true
+	c.sched.Run(units.Time(430 * units.Millisecond)) // one RTT of marks
+	marking = false
+	c.sched.Run(units.Time(460 * units.Millisecond))
+	st := c.snd.Stats()
+	if st.ECNReductions != 1 {
+		t.Errorf("ECNReductions = %d, want 1 (one per RTT)", st.ECNReductions)
+	}
+	after := c.snd.Cwnd()
+	if after > before*0.7 || after < before*0.3 {
+		t.Errorf("cwnd %v -> %v, want roughly halved", before, after)
+	}
+	if st.Retransmits != 0 {
+		t.Errorf("ECN reduction retransmitted %d segments", st.Retransmits)
+	}
+}
+
+func TestECNReceiverEchoes(t *testing.T) {
+	c := newConn(Config{Flow: 1, ECN: true, TotalSegments: 50})
+	markNext := true
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() && markNext {
+			p.Flags |= packet.FlagCE
+			markNext = false
+		}
+		return false
+	}
+	var eceAcks int64
+	c.rev.drop = func(p *packet.Packet) bool {
+		if p.Flags&packet.FlagECE != 0 {
+			eceAcks++
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(10 * units.Second))
+	if eceAcks != 1 {
+		t.Errorf("ECE echoed on %d ACKs, want exactly 1 (per-packet echo)", eceAcks)
+	}
+	if c.rcv.CEMarksSeen != 1 {
+		t.Errorf("CEMarksSeen = %d", c.rcv.CEMarksSeen)
+	}
+	if !c.snd.Finished() {
+		t.Error("flow did not finish")
+	}
+}
+
+func TestNonECNSenderIgnoresECE(t *testing.T) {
+	c := newConn(Config{Flow: 1, TotalSegments: 50}) // ECN off
+	c.rev.drop = func(p *packet.Packet) bool {
+		p.Flags |= packet.FlagECE // hostile marking
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(10 * units.Second))
+	if st := c.snd.Stats(); st.ECNReductions != 0 {
+		t.Errorf("non-ECN sender reacted to ECE: %+v", st)
+	}
+	if !c.snd.Finished() {
+		t.Error("flow did not finish")
+	}
+}

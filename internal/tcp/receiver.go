@@ -1,0 +1,161 @@
+package tcp
+
+import (
+	"fmt"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+// delAckTimeout is the standard delayed-ACK timer.
+const delAckTimeout = 100 * units.Millisecond
+
+// Receiver is the TCP sink: it reassembles the segment stream and emits
+// cumulative acknowledgements. Every out-of-order arrival triggers an
+// immediate duplicate ACK (that is what drives the sender's fast
+// retransmit); in-order arrivals are acknowledged immediately, or every
+// second segment when delayed ACKs are enabled.
+type Receiver struct {
+	cfg   Config
+	sched *sim.Scheduler
+	out   packet.Handler // reverse path toward the sender
+
+	nextExpected int64
+	ooo          map[int64]bool // out-of-order segments above nextExpected
+
+	unackedSegs int // in-order segments not yet acknowledged (delayed ACK)
+	delAck      *sim.Event
+
+	finished bool
+
+	// echoECE is set when the last data segment carried a CE mark; the
+	// next ACK echoes it (per-packet echo — a simplification of RFC
+	// 3168's ECE-until-CWR handshake that preserves the control loop).
+	echoECE bool
+	// CEMarksSeen counts congestion-experienced arrivals.
+	CEMarksSeen int64
+
+	// ReceivedSegments counts distinct data segments delivered in order
+	// (duplicates from spurious retransmissions are not recounted).
+	ReceivedSegments int64
+	// DupSegments counts duplicate data arrivals.
+	DupSegments int64
+	// AcksSent counts acknowledgements emitted.
+	AcksSent int64
+	// CompletedAt is when the final segment of a finite flow arrived, in
+	// the paper's AFCT sense ("until the last packet reaches the
+	// destination"); units.Never until then.
+	CompletedAt units.Time
+
+	// OnComplete fires once when a finite flow's data has fully arrived.
+	OnComplete func(now units.Time)
+}
+
+// NewReceiver returns a receiver sending ACKs to out.
+func NewReceiver(cfg Config, sched *sim.Scheduler, out packet.Handler) *Receiver {
+	cfg = cfg.withDefaults()
+	return &Receiver{
+		cfg:         cfg,
+		sched:       sched,
+		out:         out,
+		ooo:         make(map[int64]bool),
+		CompletedAt: units.Never,
+	}
+}
+
+// NextExpected returns the receiver's cumulative-ACK point.
+func (r *Receiver) NextExpected() int64 { return r.nextExpected }
+
+// Handle implements packet.Handler: the receiver consumes data segments.
+func (r *Receiver) Handle(p *packet.Packet) {
+	if p.IsAck() {
+		panic(fmt.Sprintf("tcp: receiver for flow %d received ACK %v", r.cfg.Flow, p))
+	}
+	if p.Flags&packet.FlagCE != 0 {
+		r.echoECE = true
+		r.CEMarksSeen++
+	}
+	switch {
+	case p.Seq == r.nextExpected:
+		r.nextExpected++
+		r.ReceivedSegments++
+		// Drain any contiguous out-of-order run (each segment was
+		// already counted in ReceivedSegments when it arrived).
+		for r.ooo[r.nextExpected] {
+			delete(r.ooo, r.nextExpected)
+			r.nextExpected++
+		}
+		r.onInOrder()
+	case p.Seq > r.nextExpected:
+		if r.ooo[p.Seq] {
+			r.DupSegments++
+		} else {
+			r.ooo[p.Seq] = true
+			r.ReceivedSegments++
+		}
+		// Out-of-order: immediate duplicate ACK (with SACK blocks when
+		// the connection negotiated them).
+		r.sendAckFor(p.Seq)
+	default:
+		// Below the cumulative point: spurious retransmission. ACK so
+		// the sender can make progress if its state is behind.
+		r.DupSegments++
+		r.sendAck()
+	}
+
+	if !r.finished && r.cfg.TotalSegments > 0 && r.nextExpected >= r.cfg.TotalSegments {
+		r.finished = true
+		r.CompletedAt = r.sched.Now()
+		if r.OnComplete != nil {
+			r.OnComplete(r.CompletedAt)
+		}
+	}
+}
+
+// onInOrder applies the (possibly delayed) acknowledgement policy for an
+// in-order arrival.
+func (r *Receiver) onInOrder() {
+	if !r.cfg.DelayedAck {
+		r.sendAck()
+		return
+	}
+	r.unackedSegs++
+	if r.unackedSegs >= 2 {
+		r.sendAck()
+		return
+	}
+	if r.delAck == nil || r.delAck.Cancelled() {
+		r.delAck = r.sched.After(delAckTimeout, r.sendAck)
+	}
+}
+
+// sendAck emits a cumulative ACK.
+func (r *Receiver) sendAck() { r.sendAckFor(-1) }
+
+// sendAckFor emits a cumulative ACK; justArrived (or -1) orders the SACK
+// blocks freshest-first when the Sack variant is in use.
+func (r *Receiver) sendAckFor(justArrived int64) {
+	r.unackedSegs = 0
+	r.sched.Cancel(r.delAck)
+	r.AcksSent++
+	var blocks [][2]int64
+	if r.cfg.Variant == Sack {
+		blocks = sackBlocks(r.ooo, justArrived, 3)
+	}
+	flags := packet.FlagACK
+	if r.echoECE {
+		flags |= packet.FlagECE
+		r.echoECE = false
+	}
+	r.out.Handle(&packet.Packet{
+		Flow:  r.cfg.Flow,
+		Src:   r.cfg.Dst, // ACKs flow from receiver back to sender
+		Dst:   r.cfg.Src,
+		Ack:   r.nextExpected,
+		Sack:  blocks,
+		Flags: flags,
+		Size:  r.cfg.AckSize,
+		Sent:  r.sched.Now(),
+	})
+}

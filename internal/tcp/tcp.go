@@ -1,0 +1,587 @@
+// Package tcp implements the TCP congestion-control dynamics the paper's
+// theory is about: slow start, AIMD congestion avoidance, fast retransmit
+// and fast recovery (Reno, with Tahoe and NewReno variants for ablation),
+// retransmission timeouts with RFC 6298-style RTT estimation, cumulative
+// ACKs and optional delayed ACKs.
+//
+// Windows and sequence numbers are counted in fixed-size segments, exactly
+// as the paper presents them ("we will count window size in packets for
+// simplicity of presentation"). A flow is either long-lived (infinite
+// data, the §2–3 model) or carries a finite number of segments (the §4
+// short-flow model, which never leaves slow start for small sizes).
+package tcp
+
+import (
+	"fmt"
+	"math"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+// Variant selects the congestion-control flavour.
+type Variant int
+
+// Supported congestion-control variants.
+const (
+	// Reno: fast retransmit + fast recovery, exit recovery on the first
+	// new ACK. The paper's ns-2 experiments use Reno.
+	Reno Variant = iota
+	// Tahoe: fast retransmit but no fast recovery (window to 1).
+	Tahoe
+	// NewReno: Reno with partial-ACK retransmission during recovery.
+	NewReno
+	// Sack: selective acknowledgements with RFC 6675-style pipe-driven
+	// recovery — multiple holes repaired per round trip.
+	Sack
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Reno:
+		return "reno"
+	case Tahoe:
+		return "tahoe"
+	case NewReno:
+		return "newreno"
+	case Sack:
+		return "sack"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Config parameterizes one flow's sender and receiver.
+type Config struct {
+	Flow packet.FlowID
+	Src  packet.NodeID // sender host
+	Dst  packet.NodeID // receiver host
+
+	// SegmentSize is the wire size of a full data segment in bytes.
+	SegmentSize units.ByteSize
+	// AckSize is the wire size of a pure ACK.
+	AckSize units.ByteSize
+
+	// TotalSegments is the flow length; 0 or negative means long-lived
+	// (infinite data).
+	TotalSegments int64
+
+	// MaxWindow caps the congestion window (the receiver's advertised
+	// window). The paper's short-flow analysis leans on typical caps of
+	// 12–43 packets; long-flow experiments set it large enough not to
+	// bind.
+	MaxWindow int
+
+	// InitialCwnd is the slow-start initial window; the paper describes
+	// flows that "first send out two packets".
+	InitialCwnd int
+
+	Variant Variant
+
+	// DelayedAck enables acknowledgement of every second segment with a
+	// 100 ms delayed-ACK timer, as most receivers do today.
+	DelayedAck bool
+
+	// Paced spreads new-data transmissions one inter-send interval
+	// (SRTT / window) apart instead of bursting on each ACK. The paper's
+	// technical report proposes pacing as the remedy when tiny buffers
+	// meet few or window-limited flows; the pacing ablation experiments
+	// use this switch. Retransmissions are never paced.
+	Paced bool
+
+	// ECN marks data packets ECN-capable and halves the window (at most
+	// once per round trip) when the receiver echoes a congestion mark —
+	// RFC 3168 simplified to per-packet ECE echo. Pair with a RED queue
+	// configured with MarkECN.
+	ECN bool
+
+	// MinRTO / InitialRTO / MaxRTO bound the retransmission timer.
+	MinRTO     units.Duration
+	InitialRTO units.Duration
+	MaxRTO     units.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.SegmentSize == 0 {
+		c.SegmentSize = 1000
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 40
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 1 << 20 // effectively unbounded
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 2
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * units.Millisecond
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = units.Second
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * units.Second
+	}
+	return c
+}
+
+// Stats accumulates per-flow counters.
+type Stats struct {
+	SegmentsSent    int64 // data segments put on the wire, incl. retransmissions
+	Retransmits     int64
+	Timeouts        int64
+	FastRecoveries  int64
+	AcksReceived    int64
+	DupAcksReceived int64
+	ECNReductions   int64
+
+	Started   units.Time // first data segment transmission
+	Completed units.Time // all data acked (sender view); units.Never if not done
+}
+
+// Sender is the TCP source. Create with NewSender and call Start.
+type Sender struct {
+	cfg   Config
+	sched *sim.Scheduler
+	out   packet.Handler // the access link toward the network
+
+	started  bool
+	finished bool
+
+	sndUna int64 // lowest unacknowledged segment
+	sndNxt int64 // next never-before-sent segment
+
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+
+	inRecovery bool
+	recover    int64 // NewReno/Sack: highest segment outstanding when loss detected
+	ecnRecover int64 // next ECN-triggered reduction allowed when sndUna passes this
+
+	sb *sackScoreboard // non-nil for the Sack variant
+
+	// RTT estimation (single-timer, Karn's algorithm).
+	srtt, rttvar units.Duration
+	haveSRTT     bool
+	rto          units.Duration
+	backoff      int
+	rttSeq       int64 // segment being timed; -1 if none
+	rttSentAt    units.Time
+
+	rtoTimer  *sim.Event
+	paceTimer *sim.Event
+	lastSend  units.Time
+
+	stats Stats
+
+	// OnComplete fires once when the final segment is cumulatively
+	// acknowledged (finite flows only).
+	OnComplete func(now units.Time)
+	// OnStateChange, if set, observes every congestion-window update;
+	// the trace package uses it for the Fig. 2–6 window processes.
+	OnStateChange func(now units.Time)
+}
+
+// NewSender returns a sender writing packets to out.
+func NewSender(cfg Config, sched *sim.Scheduler, out packet.Handler) *Sender {
+	cfg = cfg.withDefaults()
+	s := &Sender{
+		cfg:    cfg,
+		sched:  sched,
+		out:    out,
+		cwnd:   float64(cfg.InitialCwnd),
+		rttSeq: -1,
+	}
+	s.ssthresh = float64(cfg.MaxWindow)
+	s.rto = cfg.InitialRTO
+	s.stats.Completed = units.Never
+	if cfg.Variant == Sack {
+		s.sb = newScoreboard()
+	}
+	return s
+}
+
+// Start begins transmission at the current simulated time.
+func (s *Sender) Start() {
+	if s.started {
+		panic("tcp: sender started twice")
+	}
+	s.started = true
+	s.stats.Started = s.sched.Now()
+	s.trySend()
+}
+
+// Cwnd returns the congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Ssthresh returns the slow-start threshold in segments.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// Outstanding returns the number of unacknowledged segments in flight.
+func (s *Sender) Outstanding() int64 { return s.sndNxt - s.sndUna }
+
+// InSlowStart reports whether the flow is below ssthresh (the paper's
+// definition of a "short flow" is one that never leaves this state).
+func (s *Sender) InSlowStart() bool { return s.cwnd < s.ssthresh }
+
+// Finished reports whether all data has been acknowledged.
+func (s *Sender) Finished() bool { return s.finished }
+
+// Stats returns a copy of the flow counters.
+func (s *Sender) Stats() Stats { return s.stats }
+
+// Flow returns the flow ID.
+func (s *Sender) Flow() packet.FlowID { return s.cfg.Flow }
+
+// window returns the current usable window in whole segments.
+func (s *Sender) window() int64 {
+	w := math.Min(s.cwnd, float64(s.cfg.MaxWindow))
+	if w < 1 {
+		w = 1
+	}
+	return int64(w)
+}
+
+// longLived reports whether the flow has infinite data.
+func (s *Sender) longLived() bool { return s.cfg.TotalSegments <= 0 }
+
+// canSendNew reports whether the window and data supply allow a new
+// (never-before-sent) segment.
+func (s *Sender) canSendNew() bool {
+	return s.sndNxt < s.sndUna+s.window() &&
+		(s.longLived() || s.sndNxt < s.cfg.TotalSegments)
+}
+
+// trySend transmits as many new segments as the window allows — either
+// immediately (ACK-clocked bursts, classic TCP) or spread across pacing
+// intervals when Paced is set.
+func (s *Sender) trySend() {
+	if s.finished {
+		return
+	}
+	if s.cfg.Paced && s.haveSRTT {
+		s.schedulePaced()
+		return
+	}
+	for s.canSendNew() {
+		s.transmit(s.sndNxt, false)
+		s.sndNxt++
+	}
+}
+
+// paceInterval is the inter-send gap that spreads one window over one
+// smoothed RTT.
+func (s *Sender) paceInterval() units.Duration {
+	return units.Duration(int64(s.srtt) / s.window())
+}
+
+// schedulePaced arms the pacing timer for the next permitted send. The
+// timer is left un-armed when the window is closed; the next ACK's
+// trySend re-arms it.
+func (s *Sender) schedulePaced() {
+	if s.paceTimer != nil && !s.paceTimer.Cancelled() {
+		return
+	}
+	if !s.canSendNew() {
+		return
+	}
+	now := s.sched.Now()
+	next := s.lastSend.Add(s.paceInterval())
+	if next < now {
+		next = now
+	}
+	s.paceTimer = s.sched.At(next, s.paceFire)
+}
+
+func (s *Sender) paceFire() {
+	if s.finished || !s.canSendNew() {
+		return
+	}
+	s.transmit(s.sndNxt, false)
+	s.sndNxt++
+	s.schedulePaced()
+}
+
+// transmit puts one segment on the wire.
+func (s *Sender) transmit(seq int64, isRetransmit bool) {
+	now := s.sched.Now()
+	p := &packet.Packet{
+		Flow: s.cfg.Flow,
+		Src:  s.cfg.Src,
+		Dst:  s.cfg.Dst,
+		Seq:  seq,
+		Size: s.cfg.SegmentSize,
+		Sent: now,
+
+		Retransmitted: isRetransmit,
+	}
+	if s.cfg.ECN {
+		p.Flags |= packet.FlagECT
+	}
+	s.stats.SegmentsSent++
+	if isRetransmit {
+		s.stats.Retransmits++
+		// Karn: a retransmission invalidates any RTT timing that it
+		// could contaminate.
+		if s.rttSeq >= seq {
+			s.rttSeq = -1
+		}
+	} else if s.rttSeq < 0 {
+		s.rttSeq = seq
+		s.rttSentAt = now
+	}
+	if s.rtoTimer == nil || s.rtoTimer.Cancelled() {
+		s.armRTO()
+	}
+	s.lastSend = now
+	s.out.Handle(p)
+}
+
+func (s *Sender) armRTO() {
+	d := s.rto << s.backoff
+	if d > s.cfg.MaxRTO {
+		d = s.cfg.MaxRTO
+	}
+	s.rtoTimer = s.sched.After(d, s.onTimeout)
+}
+
+func (s *Sender) restartRTO() {
+	s.sched.Cancel(s.rtoTimer)
+	if s.sndUna < s.sndNxt {
+		s.armRTO()
+	}
+}
+
+// Handle implements packet.Handler: the sender receives ACKs.
+func (s *Sender) Handle(p *packet.Packet) {
+	if !p.IsAck() {
+		panic(fmt.Sprintf("tcp: sender for flow %d received non-ACK %v", s.cfg.Flow, p))
+	}
+	if s.finished {
+		return
+	}
+	s.stats.AcksReceived++
+	if s.sb != nil {
+		s.sb.update(p.Sack, s.sndUna)
+	}
+	if s.cfg.ECN && p.Flags&packet.FlagECE != 0 {
+		s.onECE()
+	}
+	switch {
+	case p.Ack > s.sndUna:
+		s.onNewAck(p.Ack)
+	case p.Ack == s.sndUna && s.Outstanding() > 0:
+		s.onDupAck()
+	}
+	if s.OnStateChange != nil {
+		s.OnStateChange(s.sched.Now())
+	}
+}
+
+func (s *Sender) onNewAck(ack int64) {
+	now := s.sched.Now()
+	acked := ack - s.sndUna
+	s.sndUna = ack
+	if s.sb != nil {
+		s.sb.advance(ack)
+	}
+
+	// RTT sample (Karn-safe: rttSeq is invalidated on retransmission).
+	if s.rttSeq >= 0 && ack > s.rttSeq {
+		s.sampleRTT(now.Sub(s.rttSentAt))
+		s.rttSeq = -1
+	}
+	s.backoff = 0
+
+	if s.inRecovery {
+		if s.cfg.Variant == Sack && ack <= s.recover {
+			// Partial ACK: the scoreboard knows the remaining holes;
+			// keep the window at ssthresh and fill the pipe.
+			s.restartRTO()
+			s.sackTrySend()
+			return
+		}
+		if s.cfg.Variant == NewReno && ack <= s.recover {
+			// Partial ACK: retransmit the next hole, deflate by the
+			// amount acked, stay in recovery.
+			s.transmit(s.sndUna, true)
+			s.cwnd = math.Max(s.cwnd-float64(acked)+1, 1)
+			s.dupAcks = 0
+			s.restartRTO()
+			s.trySend()
+			return
+		}
+		// Full ACK (or plain Reno): deflate and resume avoidance.
+		s.cwnd = s.ssthresh
+		s.inRecovery = false
+		s.dupAcks = 0
+	} else {
+		s.dupAcks = 0
+		for i := int64(0); i < acked; i++ {
+			if s.cwnd < s.ssthresh {
+				s.cwnd++ // slow start: +1 per ACKed segment
+			} else {
+				s.cwnd += 1 / s.cwnd // congestion avoidance: +1/W
+			}
+		}
+		if s.cwnd > float64(s.cfg.MaxWindow) {
+			s.cwnd = float64(s.cfg.MaxWindow)
+		}
+	}
+
+	if !s.longLived() && s.sndUna >= s.cfg.TotalSegments {
+		s.complete(now)
+		return
+	}
+	s.restartRTO()
+	s.trySend()
+}
+
+func (s *Sender) onDupAck() {
+	s.stats.DupAcksReceived++
+	if s.inRecovery {
+		if s.cfg.Variant == Sack {
+			s.sackTrySend()
+		} else if s.cfg.Variant != Tahoe {
+			// Window inflation: each dup ACK signals a departure.
+			s.cwnd++
+			s.trySend()
+		}
+		return
+	}
+	s.dupAcks++
+	if s.dupAcks < dupThresh && !(s.sb != nil && s.sb.lost(s.sndUna)) {
+		return
+	}
+	// Fast retransmit.
+	s.stats.FastRecoveries++
+	flight := float64(s.Outstanding())
+	s.ssthresh = math.Max(flight/2, 2)
+	s.recover = s.sndNxt - 1
+	if s.cfg.Variant == Sack {
+		s.inRecovery = true
+		s.cwnd = s.ssthresh
+		s.transmit(s.sndUna, true)
+		s.sb.rtxed[s.sndUna] = true
+		s.restartRTO()
+		s.sackTrySend()
+		return
+	}
+	s.transmit(s.sndUna, true)
+	s.restartRTO()
+	if s.cfg.Variant == Tahoe {
+		s.cwnd = 1
+		s.dupAcks = 0
+		return
+	}
+	s.inRecovery = true
+	s.cwnd = s.ssthresh + 3
+	s.trySend()
+}
+
+// sackTrySend fills the pipe during SACK recovery: lowest unrepaired hole
+// first, then new data, never exceeding the window's worth of estimated
+// in-flight segments.
+func (s *Sender) sackTrySend() {
+	if s.finished {
+		return
+	}
+	for s.sb.pipe(s.sndUna, s.sndNxt) < s.window() {
+		if hole := s.sb.nextHole(s.sndUna, s.sndNxt); hole >= 0 {
+			s.transmit(hole, true)
+			s.sb.rtxed[hole] = true
+			continue
+		}
+		if !s.canSendNew() {
+			return
+		}
+		s.transmit(s.sndNxt, false)
+		s.sndNxt++
+	}
+}
+
+// onECE reacts to an echoed congestion mark: halve the window, like a
+// loss, but with nothing to retransmit. At most one reduction per round
+// trip, so a whole window of marked packets counts as one signal.
+func (s *Sender) onECE() {
+	if s.inRecovery || s.sndUna < s.ecnRecover {
+		return
+	}
+	s.stats.ECNReductions++
+	s.ssthresh = math.Max(s.cwnd/2, 2)
+	s.cwnd = s.ssthresh
+	s.ecnRecover = s.sndNxt
+}
+
+func (s *Sender) onTimeout() {
+	if s.finished || s.sndUna >= s.sndNxt {
+		return
+	}
+	s.stats.Timeouts++
+	flight := float64(s.Outstanding())
+	s.ssthresh = math.Max(flight/2, 2)
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.rttSeq = -1
+	if s.sb != nil {
+		s.sb.reset() // go-back-N supersedes the scoreboard
+	}
+	// Go-back-N: everything outstanding is presumed lost.
+	s.sndNxt = s.sndUna
+	if s.backoff < 16 {
+		s.backoff++
+	}
+	// transmit arms the (backed-off) timer itself: the old timer has
+	// fired, so no timer is pending at this point.
+	s.transmit(s.sndNxt, true)
+	s.sndNxt++
+	if s.OnStateChange != nil {
+		s.OnStateChange(s.sched.Now())
+	}
+}
+
+func (s *Sender) sampleRTT(m units.Duration) {
+	if m <= 0 {
+		m = units.Nanosecond
+	}
+	if !s.haveSRTT {
+		s.srtt = m
+		s.rttvar = m / 2
+		s.haveSRTT = true
+	} else {
+		delta := s.srtt - m
+		if delta < 0 {
+			delta = -delta
+		}
+		s.rttvar = (3*s.rttvar + delta) / 4
+		s.srtt = (7*s.srtt + m) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+// SRTT returns the smoothed RTT estimate (zero until the first sample).
+func (s *Sender) SRTT() units.Duration { return s.srtt }
+
+// RTO returns the current retransmission timeout (before backoff).
+func (s *Sender) RTO() units.Duration { return s.rto }
+
+func (s *Sender) complete(now units.Time) {
+	s.finished = true
+	s.stats.Completed = now
+	s.sched.Cancel(s.rtoTimer)
+	s.sched.Cancel(s.paceTimer)
+	if s.OnComplete != nil {
+		s.OnComplete(now)
+	}
+}

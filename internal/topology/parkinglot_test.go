@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"testing"
+
+	"bufsim/internal/queue"
+	"bufsim/internal/sim"
+	"bufsim/internal/tcp"
+	"bufsim/internal/units"
+)
+
+func twoHop(buffer int) (*sim.Scheduler, *ParkingLot) {
+	s := sim.NewScheduler()
+	p := NewParkingLot(ParkingLotConfig{
+		Sched:   s,
+		Rates:   []units.BitRate{10 * units.Mbps, 10 * units.Mbps},
+		Delays:  []units.Duration{5 * units.Millisecond, 5 * units.Millisecond},
+		Buffers: []queue.Limit{queue.PacketLimit(buffer), queue.PacketLimit(buffer)},
+	})
+	return s, p
+}
+
+func TestParkingLotSingleFlowEndToEnd(t *testing.T) {
+	s, p := twoHop(200)
+	f := p.AddFlow(0, 2, 100*units.Millisecond, tcp.Config{SegmentSize: 1000, TotalSegments: 50})
+	f.Sender.Start()
+	s.Run(units.Time(10 * units.Second))
+	if !f.Sender.Finished() {
+		t.Fatalf("flow did not cross the chain: %+v", f.Sender.Stats())
+	}
+	if f.Receiver.ReceivedSegments != 50 {
+		t.Errorf("receiver got %d segments", f.Receiver.ReceivedSegments)
+	}
+	// RTT fidelity: ~100 ms propagation plus serialization on two core
+	// hops.
+	if srtt := f.Sender.SRTT(); srtt < 100*units.Millisecond || srtt > 110*units.Millisecond {
+		t.Errorf("SRTT = %v, want ~101ms", srtt)
+	}
+}
+
+func TestParkingLotPartialPath(t *testing.T) {
+	// A flow on only the second hop must not touch the first link.
+	s, p := twoHop(200)
+	f := p.AddFlow(1, 2, 60*units.Millisecond, tcp.Config{SegmentSize: 1000, TotalSegments: 20})
+	f.Sender.Start()
+	s.Run(units.Time(5 * units.Second))
+	if !f.Sender.Finished() {
+		t.Fatal("partial-path flow did not finish")
+	}
+	if p.Links[0].DeliveredPackets() != 0 {
+		t.Errorf("link 0 carried %d packets for a hop-2-only flow", p.Links[0].DeliveredPackets())
+	}
+	if p.Links[1].DeliveredPackets() == 0 {
+		t.Error("link 1 carried nothing")
+	}
+}
+
+func TestParkingLotBothLinksCongested(t *testing.T) {
+	// Cross traffic on each hop plus flows crossing both: both links
+	// saturate, and the cross flows still make progress (no starvation
+	// of the double-bottleneck path).
+	s, p := twoHop(40)
+	rng := sim.NewRNG(1)
+	var crossing []*PathFlow
+	for i := 0; i < 8; i++ {
+		rtt := units.Duration(rng.Uniform(float64(80*units.Millisecond), float64(140*units.Millisecond)))
+		f := p.AddFlow(0, 2, rtt, tcp.Config{SegmentSize: 1000})
+		crossing = append(crossing, f)
+		f.Sender.Start()
+		f1 := p.AddFlow(0, 1, rtt, tcp.Config{SegmentSize: 1000})
+		f1.Sender.Start()
+		f2 := p.AddFlow(1, 2, rtt, tcp.Config{SegmentSize: 1000})
+		f2.Sender.Start()
+	}
+	warm := units.Time(8 * units.Second)
+	s.Run(warm)
+	busy0, busy1 := p.Links[0].BusyTime(), p.Links[1].BusyTime()
+	s.Run(warm + units.Time(20*units.Second))
+	u0 := p.Links[0].Utilization(busy0, warm)
+	u1 := p.Links[1].Utilization(busy1, warm)
+	if u0 < 0.9 || u1 < 0.9 {
+		t.Errorf("links not saturated: %v %v", u0, u1)
+	}
+	for i, f := range crossing {
+		if f.Sender.Stats().SegmentsSent < 100 {
+			t.Errorf("crossing flow %d starved: %+v", i, f.Sender.Stats())
+		}
+	}
+}
+
+func TestParkingLotValidation(t *testing.T) {
+	s := sim.NewScheduler()
+	ok := ParkingLotConfig{
+		Sched:   s,
+		Rates:   []units.BitRate{units.Mbps},
+		Delays:  []units.Duration{units.Millisecond},
+		Buffers: []queue.Limit{queue.PacketLimit(10)},
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil sched", func() {
+		c := ok
+		c.Sched = nil
+		NewParkingLot(c)
+	})
+	mustPanic("mismatched slices", func() {
+		c := ok
+		c.Delays = nil
+		NewParkingLot(c)
+	})
+	mustPanic("zero rate", func() {
+		c := ok
+		c.Rates = []units.BitRate{0}
+		NewParkingLot(c)
+	})
+	p := NewParkingLot(ok)
+	mustPanic("bad path", func() { p.AddFlow(0, 2, 10*units.Millisecond, tcp.Config{}) })
+	mustPanic("reverse path", func() { p.AddFlow(1, 1, 10*units.Millisecond, tcp.Config{}) })
+	mustPanic("rtt too small", func() { p.AddFlow(0, 1, units.Millisecond, tcp.Config{}) })
+}

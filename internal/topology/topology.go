@@ -1,0 +1,298 @@
+// Package topology builds the paper's evaluation network (Fig. 1,
+// generalized): n sending stations on fast access links converge on router
+// R1, whose output port to R2 is the bottleneck link under study; the
+// receivers hang off R2. ACKs return over uncongested per-station reverse
+// paths. All queueing of interest happens in the bottleneck's output
+// queue, whose limit is the router buffer B the paper sizes.
+//
+// Stations are reusable attachment points: a long-lived-flow experiment
+// puts one flow on each station, while the Poisson short-flow workloads
+// multiplex many (sequential) flows over a fixed set of stations. Each
+// station has its own two-way propagation delay, which is how the
+// heterogeneous 25–300 ms RTTs that desynchronize flows (§3) enter the
+// simulation.
+package topology
+
+import (
+	"fmt"
+
+	"bufsim/internal/link"
+	"bufsim/internal/node"
+	"bufsim/internal/packet"
+	"bufsim/internal/queue"
+	"bufsim/internal/sim"
+	"bufsim/internal/tcp"
+	"bufsim/internal/units"
+)
+
+// Config describes a dumbbell.
+type Config struct {
+	Sched *sim.Scheduler
+	RNG   *sim.RNG // used only to draw station RTTs; may be nil when RTTMin == RTTMax
+
+	// BottleneckRate is the capacity C of the link under study.
+	BottleneckRate units.BitRate
+	// BottleneckDelay is the bottleneck link's one-way propagation delay.
+	// It must be at most RTTMin/2; the remainder of each station's RTT is
+	// placed on the station's access and reverse paths.
+	BottleneckDelay units.Duration
+
+	// Buffer is the bottleneck queue limit (the B being sized). Ignored
+	// if NewQueue is set.
+	Buffer queue.Limit
+	// NewQueue, if non-nil, constructs the bottleneck queue (e.g. RED).
+	NewQueue func() queue.Queue
+
+	// AccessRate is each station's access-link rate; 0 defaults to 10x
+	// the bottleneck (the paper's "access links faster than the
+	// bottleneck" worst case).
+	AccessRate units.BitRate
+
+	// Stations is the number of attachment points.
+	Stations int
+
+	// RTTMin and RTTMax bound the stations' two-way propagation delays
+	// (2*Tp, excluding queueing). Station RTTs are drawn uniformly; with
+	// RTTMin == RTTMax every station gets the same RTT.
+	RTTMin, RTTMax units.Duration
+}
+
+func (c Config) validate() Config {
+	if c.Sched == nil {
+		panic("topology: Config.Sched is required")
+	}
+	if c.Stations <= 0 {
+		panic("topology: Config.Stations must be positive")
+	}
+	if c.BottleneckRate <= 0 {
+		panic("topology: Config.BottleneckRate must be positive")
+	}
+	if c.AccessRate == 0 {
+		c.AccessRate = 10 * c.BottleneckRate
+	}
+	if c.RTTMin <= 0 || c.RTTMax < c.RTTMin {
+		panic(fmt.Sprintf("topology: bad RTT range [%v, %v]", c.RTTMin, c.RTTMax))
+	}
+	if c.BottleneckDelay*2 > c.RTTMin {
+		panic(fmt.Sprintf("topology: bottleneck delay %v exceeds RTTMin/2", c.BottleneckDelay))
+	}
+	if c.RTTMin != c.RTTMax && c.RNG == nil {
+		panic("topology: Config.RNG required for randomized RTTs")
+	}
+	return c
+}
+
+// Station is one sender/receiver attachment point.
+type Station struct {
+	Index int
+	// RTT is the station's two-way propagation delay (no queueing).
+	RTT units.Duration
+
+	senderHost   *node.Host
+	receiverHost *node.Host
+	access       *link.Link
+	reverse      *link.Link
+}
+
+// Flow is a TCP connection wired across the dumbbell.
+type Flow struct {
+	ID       packet.FlowID
+	Station  *Station
+	Sender   *tcp.Sender
+	Receiver *tcp.Receiver
+}
+
+// Dumbbell is the built topology.
+type Dumbbell struct {
+	cfg Config
+
+	// R1 and R2 are the routers at either end of the bottleneck.
+	R1, R2 *node.Router
+	// Bottleneck is the link under study (R1 -> R2).
+	Bottleneck *link.Link
+	// DropTail is the bottleneck queue when the default discipline is in
+	// use (nil if Config.NewQueue overrode it); it exposes occupancy
+	// statistics.
+	DropTail *queue.DropTail
+
+	stations []*Station
+	flows    []*Flow
+	nextNode packet.NodeID
+	nextFlow packet.FlowID
+}
+
+// NewDumbbell builds the topology.
+func NewDumbbell(cfg Config) *Dumbbell {
+	cfg = cfg.validate()
+	d := &Dumbbell{cfg: cfg, nextNode: 1, nextFlow: 1}
+	d.R1 = node.NewRouter(d.allocNode(), "R1")
+	d.R2 = node.NewRouter(d.allocNode(), "R2")
+
+	var q queue.Queue
+	if cfg.NewQueue != nil {
+		q = cfg.NewQueue()
+	} else {
+		dt := queue.NewDropTail(cfg.Buffer)
+		d.DropTail = dt
+		q = dt
+	}
+	d.Bottleneck = link.New("bottleneck", cfg.Sched, cfg.BottleneckRate, cfg.BottleneckDelay, q, d.R2)
+
+	for i := 0; i < cfg.Stations; i++ {
+		d.stations = append(d.stations, d.buildStation(i))
+	}
+	return d
+}
+
+func (d *Dumbbell) allocNode() packet.NodeID {
+	id := d.nextNode
+	d.nextNode++
+	return id
+}
+
+func (d *Dumbbell) buildStation(i int) *Station {
+	cfg := d.cfg
+	rtt := cfg.RTTMin
+	if cfg.RTTMax > cfg.RTTMin {
+		rtt = units.Duration(cfg.RNG.Uniform(float64(cfg.RTTMin), float64(cfg.RTTMax)))
+	}
+	st := &Station{Index: i, RTT: rtt}
+	st.senderHost = node.NewHost(d.allocNode(), fmt.Sprintf("s%d", i))
+	st.receiverHost = node.NewHost(d.allocNode(), fmt.Sprintf("d%d", i))
+
+	// The bottleneck contributes its one-way delay to the forward path;
+	// the access link carries the rest of the forward propagation and the
+	// reverse path mirrors the whole forward delay, so the loop totals
+	// the station RTT.
+	fwdDelay := units.Duration(rtt/2) - cfg.BottleneckDelay
+	revDelay := units.Duration(rtt / 2)
+
+	st.access = link.New(fmt.Sprintf("access%d", i), cfg.Sched, cfg.AccessRate,
+		fwdDelay, queue.NewDropTail(queue.Unlimited()), d.R1)
+	st.reverse = link.New(fmt.Sprintf("reverse%d", i), cfg.Sched, cfg.AccessRate,
+		revDelay, queue.NewDropTail(queue.Unlimited()), st.senderHost)
+
+	d.R1.AddRoute(st.receiverHost.ID(), d.Bottleneck)
+	d.R2.AddRoute(st.receiverHost.ID(), st.receiverHost)
+	return st
+}
+
+// Station returns attachment point i.
+func (d *Dumbbell) Station(i int) *Station { return d.stations[i] }
+
+// NumStations returns the number of attachment points.
+func (d *Dumbbell) NumStations() int { return len(d.stations) }
+
+// Flows returns all flows added so far.
+func (d *Dumbbell) Flows() []*Flow { return d.flows }
+
+// Config returns the configuration the dumbbell was built with.
+func (d *Dumbbell) Config() Config { return d.cfg }
+
+// AddFlow wires a new TCP connection across station st. The spec's Flow,
+// Src and Dst fields are assigned by the topology; everything else
+// (segment size, flow length, variant, windows) is taken from spec. The
+// caller starts the sender (directly or via the scheduler).
+func (d *Dumbbell) AddFlow(st *Station, spec tcp.Config) *Flow {
+	spec.Flow = d.nextFlow
+	d.nextFlow++
+	spec.Src = st.senderHost.ID()
+	spec.Dst = st.receiverHost.ID()
+
+	snd := tcp.NewSender(spec, d.cfg.Sched, st.access)
+	rcv := tcp.NewReceiver(spec, d.cfg.Sched, st.reverse)
+	st.senderHost.Attach(spec.Flow, snd)
+	st.receiverHost.Attach(spec.Flow, rcv)
+
+	f := &Flow{ID: spec.Flow, Station: st, Sender: snd, Receiver: rcv}
+	d.flows = append(d.flows, f)
+	return f
+}
+
+// RawFlow is an allocation of addressing for a non-TCP flow (e.g. CBR/UDP
+// traffic): the IDs to stamp on packets and the links to write them to.
+// Bind agents with BindRawFlow once they are constructed.
+type RawFlow struct {
+	ID  packet.FlowID
+	Src packet.NodeID // sender host
+	Dst packet.NodeID // receiver host
+	// Forward is where the sender writes data packets (the station's
+	// access link toward the bottleneck).
+	Forward packet.Handler
+	// Reverse is where the receiver writes feedback toward the sender.
+	Reverse packet.Handler
+
+	station *Station
+}
+
+// NewRawFlow allocates flow addressing on station st for a caller-provided
+// protocol (CBR, UDP-like, custom). TCP flows should use AddFlow instead.
+func (d *Dumbbell) NewRawFlow(st *Station) *RawFlow {
+	id := d.nextFlow
+	d.nextFlow++
+	return &RawFlow{
+		ID:      id,
+		Src:     st.senderHost.ID(),
+		Dst:     st.receiverHost.ID(),
+		Forward: st.access,
+		Reverse: st.reverse,
+		station: st,
+	}
+}
+
+// BindRawFlow attaches the flow's agents: snd receives reverse-path
+// packets at the sender host, rcv receives data at the receiver host.
+// Either may be nil for one-way traffic.
+func (d *Dumbbell) BindRawFlow(f *RawFlow, snd, rcv packet.Handler) {
+	if snd != nil {
+		f.station.senderHost.Attach(f.ID, snd)
+	}
+	if rcv != nil {
+		f.station.receiverHost.Attach(f.ID, rcv)
+	}
+}
+
+// RemoveFlow detaches a finished flow's agents so stations can be reused
+// indefinitely. The flow stays in Flows() for accounting.
+func (d *Dumbbell) RemoveFlow(f *Flow) {
+	f.Station.senderHost.Detach(f.ID)
+	f.Station.receiverHost.Detach(f.ID)
+}
+
+// MeanRTT returns the average station two-way propagation delay — the
+// paper's RTT-bar in B = RTT x C / sqrt(n).
+func (d *Dumbbell) MeanRTT() units.Duration {
+	var sum units.Duration
+	for _, st := range d.stations {
+		sum += st.RTT
+	}
+	return sum / units.Duration(len(d.stations))
+}
+
+// BDPPackets returns the bandwidth-delay product MeanRTT x C in packets of
+// the given segment size.
+func (d *Dumbbell) BDPPackets(segment units.ByteSize) int {
+	return units.PacketsInFlight(d.cfg.BottleneckRate, d.MeanRTT(), segment)
+}
+
+// AggregateWindow returns the instantaneous sum of all senders' congestion
+// windows (the W = sum Wi process of Fig. 6).
+func (d *Dumbbell) AggregateWindow() float64 {
+	var sum float64
+	for _, f := range d.flows {
+		if !f.Sender.Finished() {
+			sum += f.Sender.Cwnd()
+		}
+	}
+	return sum
+}
+
+// AggregateOutstanding returns the total unacknowledged segments across
+// flows (total data actually in flight).
+func (d *Dumbbell) AggregateOutstanding() int64 {
+	var sum int64
+	for _, f := range d.flows {
+		sum += f.Sender.Outstanding()
+	}
+	return sum
+}

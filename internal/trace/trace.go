@@ -1,0 +1,227 @@
+// Package trace records simulation time series — congestion windows,
+// queue occupancy, aggregate windows — and renders them as CSV or quick
+// ASCII plots. These are the raw material for the paper's Figs. 2–6.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+// Series is a sampled time series.
+type Series struct {
+	Name   string
+	Times  []float64 // seconds
+	Values []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(t units.Time, v float64) {
+	s.Times = append(s.Times, t.Seconds())
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Min and Max return the value range (0,0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value.
+func (s *Series) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Window returns the sub-series with Times in [from, to] (in seconds).
+func (s *Series) Window(from, to float64) *Series {
+	out := &Series{Name: s.Name}
+	for i, t := range s.Times {
+		if t >= from && t <= to {
+			out.Times = append(out.Times, t)
+			out.Values = append(out.Values, s.Values[i])
+		}
+	}
+	return out
+}
+
+// Downsample returns a copy of the series reduced to at most maxPoints by
+// keeping, within each of maxPoints equal-width time buckets, the point
+// with the extreme value (alternating min/max so sawtooth envelopes
+// survive the reduction). Series already within budget are returned
+// unchanged.
+func (s *Series) Downsample(maxPoints int) *Series {
+	if maxPoints < 2 || s.Len() <= maxPoints {
+		return s
+	}
+	out := &Series{Name: s.Name}
+	per := float64(s.Len()) / float64(maxPoints)
+	for b := 0; b < maxPoints; b++ {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		best := lo
+		for i := lo + 1; i < hi; i++ {
+			if b%2 == 0 { // even buckets keep the max...
+				if s.Values[i] > s.Values[best] {
+					best = i
+				}
+			} else if s.Values[i] < s.Values[best] { // ...odd keep the min
+				best = i
+			}
+		}
+		out.Times = append(out.Times, s.Times[best])
+		out.Values = append(out.Values, s.Values[best])
+	}
+	return out
+}
+
+// WriteCSV writes "time,<name>" rows for one or more series sharing a
+// header. All series must be sampled on their own clocks; each series is
+// written as its own column block sequentially when lengths differ, so for
+// plotting prefer equal-length sampled series.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	// Header.
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, "time_s")
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		// Use the first series with a point at i for the timestamp.
+		ts := ""
+		for _, s := range series {
+			if i < s.Len() {
+				ts = fmt.Sprintf("%.6f", s.Times[i])
+				break
+			}
+		}
+		row = append(row, ts)
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, fmt.Sprintf("%g", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIPlot renders a crude fixed-size terminal plot of the series; the
+// examples use it so the sawtooth of Fig. 3 is visible without leaving the
+// shell.
+func ASCIIPlot(s *Series, width, height int) string {
+	if s.Len() == 0 || width < 2 || height < 2 {
+		return "(empty series)\n"
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	t0, t1 := s.Times[0], s.Times[s.Len()-1]
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range s.Times {
+		x := int((s.Times[i] - t0) / (t1 - t0) * float64(width-1))
+		y := int((s.Values[i] - lo) / (hi - lo) * float64(height-1))
+		row := height - 1 - y
+		grid[row][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.6g .. %.6g]\n", s.Name, lo, hi)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " t: %.3gs .. %.3gs\n", t0, t1)
+	return b.String()
+}
+
+// Sampler polls a probe function on a fixed period and accumulates a
+// Series. Sampling ends when the scheduler drains or Stop is called.
+type Sampler struct {
+	sched  *sim.Scheduler
+	period units.Duration
+	probe  func() float64
+	series *Series
+	stop   bool
+}
+
+// NewSampler starts sampling probe every period, beginning one period from
+// now.
+func NewSampler(sched *sim.Scheduler, name string, period units.Duration, probe func() float64) *Sampler {
+	if period <= 0 {
+		panic("trace: non-positive sampling period")
+	}
+	s := &Sampler{sched: sched, period: period, probe: probe, series: &Series{Name: name}}
+	s.tick()
+	return s
+}
+
+func (s *Sampler) tick() {
+	s.sched.After(s.period, func() {
+		if s.stop {
+			return
+		}
+		s.series.Add(s.sched.Now(), s.probe())
+		s.tick()
+	})
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() { s.stop = true }
+
+// Series returns the accumulated series (safe to read after the run).
+func (s *Sampler) Series() *Series { return s.series }

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/sim"
+	"bufsim/internal/stats"
+	"bufsim/internal/topology"
+	"bufsim/internal/units"
+)
+
+// CBRConfig describes a constant-bit-rate (UDP-like) flow: traffic that
+// does not react to congestion. The paper's §4 notes its short-flow
+// queueing methodology "can also be used for UDP flows and other traffic
+// that does not react to congestion"; CBR flows let the production-mix
+// experiments include such a component and measure its loss and delay.
+type CBRConfig struct {
+	Dumbbell *topology.Dumbbell
+	Station  *topology.Station
+
+	// Rate is the flow's constant sending rate.
+	Rate units.BitRate
+	// PacketSize is the wire size of each packet.
+	PacketSize units.ByteSize
+	// Jitter, in [0,1), randomizes each inter-packet gap by +-Jitter/2 of
+	// its nominal value to avoid phase-locking with other CBR sources.
+	// Requires RNG when nonzero.
+	Jitter float64
+	RNG    *sim.RNG
+}
+
+// CBR is a running constant-bit-rate source with a measuring sink.
+type CBR struct {
+	cfg   CBRConfig
+	sched *sim.Scheduler
+	flow  *topology.RawFlow
+	gap   units.Duration
+
+	running bool
+	seq     int64
+
+	// Sent and Received count packets end to end; the difference (minus
+	// packets in flight) is congestion loss.
+	Sent     int64
+	Received int64
+	// OneWayDelay aggregates per-packet latency (seconds), including
+	// queueing — the delay penalty overbuffering inflicts on real-time
+	// traffic (§1.1's "low-latency needs of real time applications").
+	OneWayDelay stats.Welford
+}
+
+// NewCBR wires a CBR source across the dumbbell. Call Start.
+func NewCBR(cfg CBRConfig) *CBR {
+	if cfg.Dumbbell == nil || cfg.Station == nil {
+		panic("workload: CBRConfig requires Dumbbell and Station")
+	}
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("workload: CBR rate %v must be positive", cfg.Rate))
+	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 200 // small real-time-ish datagrams
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		panic(fmt.Sprintf("workload: CBR jitter %v out of [0,1)", cfg.Jitter))
+	}
+	if cfg.Jitter > 0 && cfg.RNG == nil {
+		panic("workload: CBR jitter requires an RNG")
+	}
+	c := &CBR{
+		cfg:   cfg,
+		sched: cfg.Dumbbell.Config().Sched,
+		flow:  cfg.Dumbbell.NewRawFlow(cfg.Station),
+	}
+	// Nominal inter-packet gap for the configured rate.
+	c.gap = units.Duration(int64(cfg.PacketSize.Bits()) * int64(units.Second) / int64(cfg.Rate))
+	cfg.Dumbbell.BindRawFlow(c.flow, nil, packet.HandlerFunc(c.receive))
+	return c
+}
+
+// Start begins transmission.
+func (c *CBR) Start() {
+	if c.running {
+		panic("workload: CBR started twice")
+	}
+	c.running = true
+	c.sendNext()
+}
+
+// Stop halts transmission.
+func (c *CBR) Stop() { c.running = false }
+
+// LossRate returns the end-to-end loss fraction observed so far. Packets
+// still in flight count as lost, so read it after a drain period.
+func (c *CBR) LossRate() float64 {
+	if c.Sent == 0 {
+		return 0
+	}
+	return float64(c.Sent-c.Received) / float64(c.Sent)
+}
+
+func (c *CBR) sendNext() {
+	if !c.running {
+		return
+	}
+	now := c.sched.Now()
+	c.flow.Forward.Handle(&packet.Packet{
+		Flow: c.flow.ID,
+		Src:  c.flow.Src,
+		Dst:  c.flow.Dst,
+		Seq:  c.seq,
+		Size: c.cfg.PacketSize,
+		Sent: now,
+	})
+	c.seq++
+	c.Sent++
+	gap := c.gap
+	if c.cfg.Jitter > 0 {
+		f := 1 + c.cfg.Jitter*(c.cfg.RNG.Float64()-0.5)
+		gap = units.Duration(float64(gap) * f)
+	}
+	c.sched.After(gap, c.sendNext)
+}
+
+func (c *CBR) receive(p *packet.Packet) {
+	c.Received++
+	c.OneWayDelay.Add(c.sched.Now().Sub(p.Sent).Seconds())
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bufsim/internal/tcp"
+	"bufsim/internal/units"
+)
+
+func TestCBRRateAccuracy(t *testing.T) {
+	s, d, _ := testDumbbell(2, 1000, 10*units.Mbps)
+	c := NewCBR(CBRConfig{
+		Dumbbell:   d,
+		Station:    d.Station(0),
+		Rate:       units.Mbps, // 1 Mb/s of 200-B packets = 625 pkt/s
+		PacketSize: 200,
+	})
+	c.Start()
+	s.Run(units.Time(10 * units.Second))
+	want := 625.0 * 10
+	if math.Abs(float64(c.Sent)-want) > want/100 {
+		t.Errorf("Sent = %d, want ~%v", c.Sent, want)
+	}
+	c.Stop()
+	s.Run(units.Time(11 * units.Second)) // drain in-flight packets
+	if c.LossRate() > 0.001 {
+		t.Errorf("uncongested CBR lost %v", c.LossRate())
+	}
+	// One-way delay ~= half the station RTT plus serialization.
+	mean := c.OneWayDelay.Mean()
+	if mean < 0.02 || mean > 0.08 {
+		t.Errorf("one-way delay = %vs, want ~RTT/2", mean)
+	}
+}
+
+func TestCBRJitterStillMeetsRate(t *testing.T) {
+	s, d, rng := testDumbbell(2, 1000, 10*units.Mbps)
+	c := NewCBR(CBRConfig{
+		Dumbbell:   d,
+		Station:    d.Station(0),
+		Rate:       2 * units.Mbps,
+		PacketSize: 500,
+		Jitter:     0.5,
+		RNG:        rng.Fork(),
+	})
+	c.Start()
+	s.Run(units.Time(10 * units.Second))
+	want := 2e6 / 4000 * 10 // 500 pkt/s x 10 s
+	if math.Abs(float64(c.Sent)-want) > want/10 {
+		t.Errorf("jittered Sent = %d, want ~%v", c.Sent, want)
+	}
+}
+
+func TestCBRExperiencesCongestionLoss(t *testing.T) {
+	// A 2 Mb/s CBR stream sharing a 10 Mb/s bottleneck with saturating
+	// TCP must see some loss and extra queueing delay (the buffer is
+	// kept full by TCP).
+	s, d, rng := testDumbbell(6, 100, 10*units.Mbps)
+	StartLongLived(d, 5, tcp.Config{SegmentSize: 1000}, rng.Fork(), units.Second)
+	c := NewCBR(CBRConfig{
+		Dumbbell:   d,
+		Station:    d.Station(5),
+		Rate:       2 * units.Mbps,
+		PacketSize: 500,
+	})
+	c.Start()
+	s.Run(units.Time(20 * units.Second))
+	c.Stop()
+	s.Run(units.Time(22 * units.Second)) // drain in-flight packets
+	if c.LossRate() <= 0 {
+		t.Errorf("CBR against saturating TCP saw no loss (sent %d, recv %d)", c.Sent, c.Received)
+	}
+	if c.LossRate() > 0.5 {
+		t.Errorf("CBR loss %v implausibly high", c.LossRate())
+	}
+	// Delay should exceed the uncongested propagation substantially
+	// (standing queue of ~100 packets at 10 Mb/s ~ 80 ms).
+	if c.OneWayDelay.Mean() < 0.05 {
+		t.Errorf("congested one-way delay = %vs, want queueing visible", c.OneWayDelay.Mean())
+	}
+}
+
+func TestCBRStopHalts(t *testing.T) {
+	s, d, _ := testDumbbell(1, 100, 10*units.Mbps)
+	c := NewCBR(CBRConfig{Dumbbell: d, Station: d.Station(0), Rate: units.Mbps})
+	c.Start()
+	s.Run(units.Time(units.Second))
+	c.Stop()
+	sent := c.Sent
+	s.Run(units.Time(5 * units.Second))
+	if c.Sent != sent {
+		t.Error("CBR kept sending after Stop")
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	s, d, _ := testDumbbell(1, 100, 10*units.Mbps)
+	_ = s
+	mustPanic := func(name string, cfg CBRConfig) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		NewCBR(cfg)
+	}
+	mustPanic("nil dumbbell", CBRConfig{Station: d.Station(0), Rate: units.Mbps})
+	mustPanic("zero rate", CBRConfig{Dumbbell: d, Station: d.Station(0)})
+	mustPanic("bad jitter", CBRConfig{Dumbbell: d, Station: d.Station(0), Rate: units.Mbps, Jitter: 1.5})
+	mustPanic("jitter without rng", CBRConfig{Dumbbell: d, Station: d.Station(0), Rate: units.Mbps, Jitter: 0.2})
+
+	c := NewCBR(CBRConfig{Dumbbell: d, Station: d.Station(0), Rate: units.Mbps})
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	c.Start()
+}
+
+func TestRawFlowBindOneWay(t *testing.T) {
+	// NewRawFlow + BindRawFlow with nil sender agent must work (CBR uses
+	// exactly this) and allocate distinct flow IDs.
+	s, d, _ := testDumbbell(1, 100, 10*units.Mbps)
+	_ = s
+	f1 := d.NewRawFlow(d.Station(0))
+	f2 := d.NewRawFlow(d.Station(0))
+	if f1.ID == f2.ID {
+		t.Error("raw flows share an ID")
+	}
+	if f1.Src == 0 || f1.Dst == 0 || f1.Forward == nil || f1.Reverse == nil {
+		t.Errorf("raw flow not fully populated: %+v", f1)
+	}
+
+}

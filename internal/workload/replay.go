@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bufsim/internal/tcp"
+	"bufsim/internal/topology"
+	"bufsim/internal/units"
+)
+
+// FlowSpec is one flow of a recorded trace: when it starts and how many
+// segments it carries.
+type FlowSpec struct {
+	Start units.Time
+	Size  int64 // segments
+}
+
+// ParseTrace reads a flow trace in the two-column CSV form
+//
+//	start_seconds,size_segments
+//
+// (comments starting with '#' and blank lines are skipped; a header line
+// is tolerated). Rows may be in any order; the result is sorted by start
+// time. This is the bridge for replaying real flow-level traces — e.g.
+// a NetFlow export reduced to arrival time and transfer size — through
+// the simulator instead of synthetic Poisson arrivals.
+func ParseTrace(r io.Reader) ([]FlowSpec, error) {
+	var specs []FlowSpec
+	sc := bufio.NewScanner(r)
+	line := 0
+	sawRow := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want 2 fields, got %d", line, len(parts))
+		}
+		start, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			if !sawRow {
+				continue // a header row like "start_seconds,size_segments"
+			}
+			return nil, fmt.Errorf("workload: trace line %d: bad start: %v", line, err)
+		}
+		sawRow = true
+		size, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad size: %v", line, err)
+		}
+		if start < 0 || size <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: start %v / size %d out of range", line, start, size)
+		}
+		specs = append(specs, FlowSpec{
+			Start: units.Time(units.DurationFromSeconds(start)),
+			Size:  size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Start < specs[j].Start })
+	return specs, nil
+}
+
+// Replay schedules every flow of a trace across the dumbbell's stations
+// (round-robin) and returns the records, which fill in as flows complete.
+// The trace's start times are relative to the current simulated time.
+func Replay(d *topology.Dumbbell, specs []FlowSpec, template tcp.Config) []*FlowRecord {
+	sched := d.Config().Sched
+	base := sched.Now()
+	records := make([]*FlowRecord, len(specs))
+	for i, spec := range specs {
+		i, spec := i, spec
+		rec := &FlowRecord{Size: spec.Size, Completed: units.Never}
+		records[i] = rec
+		st := d.Station(i % d.NumStations())
+		sched.At(base+spec.Start, func() {
+			cfg := template
+			cfg.TotalSegments = spec.Size
+			f := d.AddFlow(st, cfg)
+			rec.Start = sched.Now()
+			f.Receiver.OnComplete = func(now units.Time) {
+				rec.Completed = now
+				sched.After(f.Station.RTT, func() { d.RemoveFlow(f) })
+			}
+			f.Sender.Start()
+		})
+	}
+	return records
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"bufsim/internal/tcp"
+	"bufsim/internal/units"
+)
+
+func TestSessionsCycleTransfers(t *testing.T) {
+	s, d, rng := testDumbbell(10, 200, 20*units.Mbps)
+	g := NewSessions(SessionConfig{
+		Dumbbell:  d,
+		RNG:       rng.Fork(),
+		Sessions:  20,
+		Sizes:     GeometricSize(20),
+		MeanThink: 500 * units.Millisecond,
+		TCP:       tcp.Config{SegmentSize: 1000, MaxWindow: 43},
+	})
+	g.Start()
+	s.Run(units.Time(30 * units.Second))
+	// 20 sessions cycling ~20-segment files with sub-second pauses must
+	// complete many transfers (each session several per second at most;
+	// conservatively demand a few per session).
+	if g.Transfers < 100 {
+		t.Errorf("Transfers = %d, want sessions to cycle", g.Transfers)
+	}
+	// Active flows stay within the population.
+	if g.Active() < 0 || g.Active() > 20 {
+		t.Errorf("Active = %d, want [0, 20]", g.Active())
+	}
+	// Every record either completed or is one of the active ones.
+	var completed int
+	for _, r := range g.Records {
+		if r.Completed != units.Never {
+			completed++
+		}
+	}
+	if completed+g.Active() != len(g.Records) {
+		t.Errorf("completed %d + active %d != records %d",
+			completed, g.Active(), len(g.Records))
+	}
+}
+
+func TestSessionsEquilibriumLoad(t *testing.T) {
+	// With long think times the offered load is light; the link should
+	// be far from saturated. Sanity check of the think-time control.
+	s, d, rng := testDumbbell(10, 200, 20*units.Mbps)
+	g := NewSessions(SessionConfig{
+		Dumbbell:  d,
+		RNG:       rng.Fork(),
+		Sessions:  5,
+		Sizes:     FixedSize(10),
+		MeanThink: 5 * units.Second,
+		TCP:       tcp.Config{SegmentSize: 1000, MaxWindow: 43},
+	})
+	g.Start()
+	warm := units.Time(5 * units.Second)
+	s.Run(warm)
+	busy := d.Bottleneck.BusyTime()
+	s.Run(units.Time(30 * units.Second))
+	util := d.Bottleneck.Utilization(busy, warm)
+	if util > 0.2 {
+		t.Errorf("light session load utilization = %v, want < 0.2", util)
+	}
+	if g.Transfers == 0 {
+		t.Error("no transfers completed")
+	}
+}
+
+func TestSessionsStopHalts(t *testing.T) {
+	s, d, rng := testDumbbell(4, 100, 10*units.Mbps)
+	g := NewSessions(SessionConfig{
+		Dumbbell:  d,
+		RNG:       rng.Fork(),
+		Sessions:  4,
+		Sizes:     FixedSize(5),
+		MeanThink: 100 * units.Millisecond,
+		TCP:       tcp.Config{SegmentSize: 1000},
+	})
+	g.Start()
+	s.Run(units.Time(5 * units.Second))
+	g.Stop()
+	s.Run(units.Time(10 * units.Second)) // drain
+	n := g.Transfers
+	s.Run(units.Time(20 * units.Second))
+	if g.Transfers != n {
+		t.Error("sessions kept transferring after Stop")
+	}
+	if g.Active() != 0 {
+		t.Errorf("Active = %d after stop+drain", g.Active())
+	}
+}
+
+func TestSessionsValidation(t *testing.T) {
+	_, d, rng := testDumbbell(2, 10, units.Mbps)
+	mustPanic := func(name string, cfg SessionConfig) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		NewSessions(cfg)
+	}
+	mustPanic("nil dumbbell", SessionConfig{RNG: rng, Sizes: FixedSize(1), Sessions: 1})
+	mustPanic("zero sessions", SessionConfig{Dumbbell: d, RNG: rng, Sizes: FixedSize(1)})
+	mustPanic("nil sizes", SessionConfig{Dumbbell: d, RNG: rng, Sessions: 1})
+
+	g := NewSessions(SessionConfig{Dumbbell: d, RNG: rng, Sizes: FixedSize(1), Sessions: 1})
+	g.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	g.Start()
+}
