@@ -287,7 +287,7 @@ func BenchmarkAccessSmoothing(b *testing.B) {
 			cfg.BottleneckRate = 20 * units.Mbps
 			cfg.Warmup, cfg.Measure = 8*units.Second, 30*units.Second
 		}
-		points := experiment.RunSmoothing(cfg)
+		points := experiment.RunSmoothing(cfg).Points
 		last := len(points) - 1
 		b.ReportMetric(points[0].TailProb, "tail_fastAccess")
 		b.ReportMetric(points[last].TailProb, "tail_slowAccess")

@@ -29,6 +29,13 @@
 //   - Full paper reproduction: the internal/experiment package drives
 //     every figure and table; cmd/paperexp exposes them on the command
 //     line and bench_test.go regenerates them as Go benchmarks.
+//
+// Every Simulate* entry point accepts functional Options (WithVariant,
+// WithPacing, WithDelayedACK, WithRED, WithMetrics) that override the
+// corresponding config fields, and every result implements the Result
+// interface (Table, WriteJSON). WithMetrics attaches a telemetry
+// Registry; telemetry only observes — the same seed produces identical
+// packets with or without it.
 package bufsim
 
 import (
@@ -80,6 +87,10 @@ const (
 	Byte     = units.Byte
 	Kilobyte = units.Kilobyte
 	Megabyte = units.Megabyte
+
+	// DefaultSegment is the packet size assumed when a Link or config
+	// leaves SegmentSize zero.
+	DefaultSegment = units.DefaultSegment
 )
 
 // ParseDuration parses "250ms", "2.5s", "80us", "10ns".
@@ -99,7 +110,7 @@ type Link struct {
 
 func (l Link) segment() ByteSize {
 	if l.SegmentSize == 0 {
-		return 1000
+		return DefaultSegment
 	}
 	return l.SegmentSize
 }
@@ -182,8 +193,8 @@ type Simulation struct {
 	DelayedAck bool
 }
 
-// Result summarizes a Simulate run.
-type Result struct {
+// SimulationResult summarizes a Simulate run. It implements Result.
+type SimulationResult struct {
 	Utilization        float64
 	LossRate           float64
 	MeanQueuePackets   float64
@@ -199,7 +210,20 @@ type Result struct {
 
 // Simulate runs the long-lived-flow scenario and reports utilization. It
 // is the programmatic version of "would this buffer keep my link busy?".
-func Simulate(cfg Simulation) Result {
+func Simulate(cfg Simulation, opts ...Option) SimulationResult {
+	o := applyOptions(opts)
+	if o.variant != nil {
+		cfg.Variant = *o.variant
+	}
+	if o.paced != nil {
+		cfg.Paced = *o.paced
+	}
+	if o.delayedAck != nil {
+		cfg.DelayedAck = *o.delayedAck
+	}
+	if o.red != nil {
+		cfg.RED = *o.red
+	}
 	rttMin := cfg.Link.RTT - cfg.RTTSpread/2
 	rttMax := cfg.Link.RTT + cfg.RTTSpread/2
 	r := experiment.RunLongLived(experiment.LongLivedConfig{
@@ -216,8 +240,9 @@ func Simulate(cfg Simulation) Result {
 		DelayedAck:     cfg.DelayedAck,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
+		Metrics:        o.metrics,
 	})
-	return Result{
+	return SimulationResult{
 		Utilization:        r.Utilization,
 		LossRate:           r.LossRate,
 		MeanQueuePackets:   r.MeanQueue,
@@ -246,13 +271,25 @@ type SingleFlowResult struct {
 // SimulateSingleFlow runs one long-lived flow with the buffer set to
 // bufferFactor x (RTT x C): 1.0 reproduces Fig. 3, less Fig. 4, more
 // Fig. 5.
-func SimulateSingleFlow(link Link, bufferFactor float64, seed int64) SingleFlowResult {
-	r := experiment.RunSingleFlow(experiment.SingleFlowConfig{
+func SimulateSingleFlow(link Link, bufferFactor float64, seed int64, opts ...Option) SingleFlowResult {
+	o := applyOptions(opts)
+	run := experiment.SingleFlowConfig{
 		BottleneckRate: link.Rate,
 		RTT:            link.RTT,
 		SegmentSize:    link.segment(),
 		BufferFactor:   bufferFactor,
-	})
+		Metrics:        o.metrics,
+	}
+	if o.variant != nil {
+		run.Variant = *o.variant
+	}
+	if o.paced != nil {
+		run.Paced = *o.paced
+	}
+	if o.delayedAck != nil {
+		run.DelayedAck = *o.delayedAck
+	}
+	r := experiment.RunSingleFlow(run)
 	return SingleFlowResult{
 		BDPPackets:    r.BDPPackets,
 		BufferPackets: r.BufferPackets,
@@ -288,8 +325,9 @@ type ShortFlowResult struct {
 
 // SimulateShortFlows runs Poisson arrivals of fixed-size slow-start flows
 // and reports the average flow completion time — the §4/§5.1.2 metric.
-func SimulateShortFlows(cfg ShortFlowSimulation) ShortFlowResult {
-	afct, completed, censored := experiment.ShortFlowAFCT(experiment.ShortFlowRunConfig{
+func SimulateShortFlows(cfg ShortFlowSimulation, opts ...Option) ShortFlowResult {
+	o := applyOptions(opts)
+	run := experiment.ShortFlowRunConfig{
 		Seed:          cfg.Seed,
 		Rate:          cfg.Link.Rate,
 		MeanRTT:       cfg.Link.RTT,
@@ -300,7 +338,18 @@ func SimulateShortFlows(cfg ShortFlowSimulation) ShortFlowResult {
 		MaxWindow:     cfg.MaxWindow,
 		Warmup:        cfg.Warmup,
 		Measure:       cfg.Measure,
-	})
+		Metrics:       o.metrics,
+	}
+	if o.variant != nil {
+		run.Variant = *o.variant
+	}
+	if o.paced != nil {
+		run.Paced = *o.paced
+	}
+	if o.delayedAck != nil {
+		run.DelayedAck = *o.delayedAck
+	}
+	afct, completed, censored := experiment.ShortFlowAFCT(run)
 	return ShortFlowResult{AFCT: afct, Completed: completed, Censored: censored}
 }
 
@@ -333,12 +382,13 @@ type MixResult struct {
 // flows' completion time alongside link utilization — the trade Fig. 9
 // explores: smaller buffers keep utilization while completing short flows
 // faster.
-func SimulateMix(cfg MixSimulation) MixResult {
+func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
+	o := applyOptions(opts)
 	sizes := cfg.ShortSizes
 	if sizes == nil {
 		sizes = workload.GeometricSize(14)
 	}
-	out := experiment.RunMixed(experiment.MixedConfig{
+	run := experiment.MixedConfig{
 		Seed:           cfg.Seed,
 		NLong:          cfg.LongFlows,
 		ShortLoad:      cfg.ShortLoad,
@@ -351,7 +401,18 @@ func SimulateMix(cfg MixSimulation) MixResult {
 		BufferPackets:  cfg.BufferPackets,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
-	})
+		Metrics:        o.metrics,
+	}
+	if o.variant != nil {
+		run.Variant = *o.variant
+	}
+	if o.paced != nil {
+		run.Paced = *o.paced
+	}
+	if o.delayedAck != nil {
+		run.DelayedAck = *o.delayedAck
+	}
+	out := experiment.RunMixed(run)
 	return MixResult{
 		AFCT:            out.AFCT,
 		ShortsCompleted: out.Completed,
@@ -391,8 +452,9 @@ type TraceResult struct {
 // SimulateTrace replays a recorded flow-level trace (instead of a
 // synthetic arrival process) and reports completion statistics — the
 // entry point for driving the simulator with real measurement data.
-func SimulateTrace(cfg TraceSimulation) TraceResult {
-	r := experiment.RunTrace(experiment.TraceConfig{
+func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
+	o := applyOptions(opts)
+	run := experiment.TraceConfig{
 		Seed:           cfg.Seed,
 		Flows:          cfg.Flows,
 		BottleneckRate: cfg.Link.Rate,
@@ -401,7 +463,18 @@ func SimulateTrace(cfg TraceSimulation) TraceResult {
 		SegmentSize:    cfg.Link.segment(),
 		MaxWindow:      cfg.MaxWindow,
 		BufferPackets:  cfg.BufferPackets,
-	})
+		Metrics:        o.metrics,
+	}
+	if o.variant != nil {
+		run.Variant = *o.variant
+	}
+	if o.paced != nil {
+		run.Paced = *o.paced
+	}
+	if o.delayedAck != nil {
+		run.DelayedAck = *o.delayedAck
+	}
+	r := experiment.RunTrace(run)
 	return TraceResult{
 		Completed:   r.Completed,
 		Censored:    r.Censored,

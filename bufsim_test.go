@@ -244,3 +244,77 @@ func TestParetoExported(t *testing.T) {
 		t.Errorf("Pareto mean = %v", p.Mean())
 	}
 }
+
+func TestOptionsOverrideConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs")
+	}
+	l := Link{Rate: 10 * Mbps, RTT: 100 * Millisecond}
+	cfg := Simulation{
+		Seed: 4, Link: l, Flows: 20, BufferPackets: 2 * l.SqrtRule(20),
+		RTTSpread: 40 * Millisecond, Warmup: 5 * Second, Measure: 10 * Second,
+	}
+	// An option must win over the config field: Simulate(cfg with
+	// Variant=Sack) == Simulate(cfg, WithVariant(Sack)).
+	viaField := cfg
+	viaField.Variant = Sack
+	viaField.Paced = true
+	a := Simulate(viaField)
+	b := Simulate(cfg, WithVariant(Sack), WithPacing(true))
+	if a != b {
+		t.Errorf("option path diverges from config path:\nfield  %+v\noption %+v", a, b)
+	}
+	// And a different variant must actually change the run.
+	c := Simulate(cfg, WithVariant(Tahoe), WithPacing(true))
+	if b == c {
+		t.Error("WithVariant had no effect")
+	}
+}
+
+func TestWithMetricsDoesNotPerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs")
+	}
+	l := Link{Rate: 10 * Mbps, RTT: 100 * Millisecond}
+	cfg := Simulation{
+		Seed: 5, Link: l, Flows: 20, BufferPackets: 2 * l.SqrtRule(20),
+		RTTSpread: 40 * Millisecond, Warmup: 5 * Second, Measure: 10 * Second,
+	}
+	plain := Simulate(cfg)
+	reg := NewRegistry()
+	observed := Simulate(cfg, WithMetrics(reg))
+	if plain != observed {
+		t.Errorf("telemetry changed the result:\noff %+v\non  %+v", plain, observed)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sim.events_processed"] <= 0 {
+		t.Error("registry not populated")
+	}
+	if snap.Counters["tcp.flows_tracked"] != 20 {
+		t.Errorf("tcp.flows_tracked = %d, want 20", snap.Counters["tcp.flows_tracked"])
+	}
+}
+
+func TestResultInterface(t *testing.T) {
+	// Compact render smoke for every public Result implementation.
+	results := []Result{
+		SimulationResult{Utilization: 0.99, Timeouts: 3},
+		SingleFlowResult{BDPPackets: 125, BufferPackets: 125, Utilization: 1},
+		ShortFlowResult{AFCT: 250 * Millisecond, Completed: 10},
+		MixResult{AFCT: 300 * Millisecond, ShortsCompleted: 5, Utilization: 0.97},
+		TraceResult{Completed: 4, AFCT: 100 * Millisecond},
+		Memory{SRAMChips: 1, FitsOnChip: true, Description: "fits"},
+	}
+	for _, res := range results {
+		if res.Table() == "" {
+			t.Errorf("%T: empty table", res)
+		}
+		var sb strings.Builder
+		if err := res.WriteJSON(&sb); err != nil {
+			t.Errorf("%T: WriteJSON: %v", res, err)
+		}
+		if !strings.HasPrefix(sb.String(), "{") {
+			t.Errorf("%T: JSON output %q", res, sb.String())
+		}
+	}
+}

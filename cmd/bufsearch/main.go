@@ -25,7 +25,7 @@ func main() {
 		spreadStr = flag.String("rtt-spread", "40ms", "RTT heterogeneity across flows")
 		flows     = flag.Int("flows", 300, "number of long-lived TCP flows")
 		target    = flag.Float64("target", 0.98, "utilization target in (0,1)")
-		segment   = flag.Int("segment", 1000, "segment size in bytes")
+		segment   = flag.Int("segment", int(units.DefaultSegment), "segment size in bytes")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		warmStr   = flag.String("warmup", "15s", "simulated warmup to discard")
 		measStr   = flag.String("measure", "30s", "simulated measurement window")

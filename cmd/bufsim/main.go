@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 
 	"bufsim"
 )
@@ -30,7 +31,7 @@ func main() {
 		flows     = flag.Int("flows", 400, "number of long-lived TCP flows")
 		factor    = flag.Float64("buffer-factor", 1.0, "buffer as a multiple of RTTxC/sqrt(n)")
 		buffer    = flag.Int("buffer", 0, "explicit buffer in packets (overrides -buffer-factor)")
-		segment   = flag.Int("segment", 1000, "segment size in bytes")
+		segment   = flag.Int("segment", int(bufsim.DefaultSegment), "segment size in bytes")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		warmStr   = flag.String("warmup", "20s", "simulated warmup to discard")
 		measStr   = flag.String("measure", "40s", "simulated measurement window")
@@ -39,8 +40,22 @@ func main() {
 		paced     = flag.Bool("paced", false, "pace sender transmissions across the RTT")
 		skipSim   = flag.Bool("no-sim", false, "print the sizing rules only")
 		config    = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+		metrics   = flag.String("metrics", "", "write run telemetry to this JSON file")
+		cpuprof   = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *config != "" {
 		sim, link, err := loadScenario(*config)
@@ -48,7 +63,7 @@ func main() {
 			log.Fatal(err)
 		}
 		printRules(link, sim.Flows, sim.BufferPackets)
-		runAndPrint(link, sim, *skipSim)
+		runAndPrint(link, sim, *skipSim, *metrics)
 		return
 	}
 
@@ -110,7 +125,7 @@ func main() {
 		RED:           *red,
 		Variant:       v,
 		Paced:         *paced,
-	}, *skipSim)
+	}, *skipSim, *metrics)
 }
 
 // printRules shows the sizing rules and hardware verdict for the chosen
@@ -118,7 +133,7 @@ func main() {
 func printRules(link bufsim.Link, flows, buffer int) {
 	seg := int(link.SegmentSize)
 	if seg == 0 {
-		seg = 1000
+		seg = int(bufsim.DefaultSegment)
 	}
 	rot := link.RuleOfThumb()
 	sqrt := link.SqrtRule(flows)
@@ -131,21 +146,41 @@ func printRules(link bufsim.Link, flows, buffer int) {
 	fmt.Printf("model predicts:  %.2f%% utilization\n", 100*link.PredictUtilization(flows, buffer))
 }
 
-// runAndPrint runs the simulation (unless skipped) and reports.
-func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool) {
+// runAndPrint runs the simulation (unless skipped) and reports. When
+// metricsPath is non-empty the run's telemetry registry is dumped there
+// as JSON.
+func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath string) {
 	if skip {
 		return
 	}
+	var opts []bufsim.Option
+	var reg *bufsim.Registry
+	if metricsPath != "" {
+		reg = bufsim.NewRegistry()
+		opts = append(opts, bufsim.WithMetrics(reg))
+	}
 	fmt.Printf("simulating %d %v flows for %v (+%v warmup)...\n",
 		cfg.Flows, cfg.Variant, cfg.Measure, cfg.Warmup)
-	res := bufsim.Simulate(cfg)
+	res := bufsim.Simulate(cfg, opts...)
 	fmt.Printf("measured:        %.2f%% utilization, %.3f%% loss, mean queue %.0f pkts, %.2f%% retransmits\n",
 		100*res.Utilization, 100*res.LossRate, res.MeanQueuePackets, 100*res.RetransmitFraction)
 	fmt.Printf("queueing delay:  mean %v, P99 %v; fairness %.3f\n",
 		res.QueueDelayMean, res.QueueDelayP99, res.Fairness)
+	if reg != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry:       written to %s\n", metricsPath)
+	}
 	if res.Utilization < 0.98 {
 		fmt.Println("note: below 98% utilization — try a larger -buffer-factor or more flows")
-		os.Exit(0)
 	}
 }
 

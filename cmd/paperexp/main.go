@@ -40,10 +40,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"text/tabwriter"
+	"runtime/pprof"
 	"time"
 
 	"bufsim/internal/experiment"
+	"bufsim/internal/metrics"
 	"bufsim/internal/plot"
 	"bufsim/internal/trace"
 	"bufsim/internal/units"
@@ -54,15 +55,32 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperexp: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, all)")
-		quick  = flag.Bool("quick", false, "scaled-down parameters for a fast run")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		csvDir = flag.String("csv", "", "directory to write CSV series into (optional)")
-		svgDir = flag.String("svg", "", "directory to write SVG figures into (optional)")
+		exp     = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, all)")
+		quick   = flag.Bool("quick", false, "scaled-down parameters for a fast run")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		csvDir  = flag.String("csv", "", "directory to write CSV series into (optional)")
+		svgDir  = flag.String("svg", "", "directory to write SVG figures into (optional)")
+		metOut  = flag.String("metrics", "", "write run telemetry to this JSON file")
+		cpuprof = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir}
+	if *metOut != "" {
+		r.metrics = metrics.New()
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -77,13 +95,44 @@ func main() {
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	if r.metrics != nil {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.metrics.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metOut)
+	}
 }
 
 type runner struct {
-	quick  bool
-	seed   int64
-	csvDir string
-	svgDir string
+	quick   bool
+	seed    int64
+	csvDir  string
+	svgDir  string
+	metrics *metrics.Registry
+}
+
+// child returns a fresh registry for one experiment's telemetry when
+// -metrics was requested, else nil (telemetry disabled).
+func (r runner) child() *metrics.Registry {
+	if r.metrics == nil {
+		return nil
+	}
+	return metrics.New()
+}
+
+// mergeMetrics folds one experiment's registry into the master dump under
+// the experiment id.
+func (r runner) mergeMetrics(id string, child *metrics.Registry) {
+	if r.metrics != nil && child != nil {
+		r.metrics.Merge(id, child)
+	}
 }
 
 // writeSVG renders a chart into the svg directory, if one was requested.
@@ -177,11 +226,12 @@ func (r runner) writeCSV(name string, series ...*trace.Series) error {
 }
 
 func (r runner) singleFlow(factor float64, name string) error {
-	cfg := experiment.SingleFlowConfig{BufferFactor: factor}
+	cfg := experiment.SingleFlowConfig{BufferFactor: factor, Metrics: r.child()}
 	if r.quick {
 		cfg.Warmup, cfg.Measure = 60*units.Second, 60*units.Second
 	}
 	res := experiment.RunSingleFlow(cfg)
+	r.mergeMetrics(name, cfg.Metrics)
 	fmt.Printf("BDP %d pkts, buffer %d pkts (%.3gx)\n", res.BDPPackets, res.BufferPackets, factor)
 	fmt.Printf("utilization %.2f%%, mean queue %.1f pkts, min queue seen %.0f pkts\n",
 		100*res.Utilization, res.MeanQueue, res.MinQueueSeen)
@@ -209,7 +259,9 @@ func (r runner) windowDist() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 30*units.Second
 	}
 	res := experiment.RunWindowDist(cfg)
-	experiment.RenderWindowDist(os.Stdout, res)
+	if err := experiment.Render(os.Stdout, res); err != nil {
+		return err
+	}
 	hist := &trace.Series{Name: "density"}
 	normal := &trace.Series{Name: "normal_fit"}
 	for i := 0; i < res.Histogram.NumBins(); i++ {
@@ -242,7 +294,9 @@ func (r runner) minBuffer() error {
 		cfg.Warmup, cfg.Measure = 8*units.Second, 15*units.Second
 	}
 	res := experiment.RunMinBufferSweep(cfg)
-	experiment.RenderMinBuffer(os.Stdout, res)
+	if err := experiment.Render(os.Stdout, res); err != nil {
+		return err
+	}
 	curve := &trace.Series{Name: "utilization"}
 	for _, s := range res.Ladder {
 		curve.Times = append(curve.Times, float64(s.N)*1e6+float64(s.Buffer))
@@ -286,7 +340,7 @@ func (r runner) minBuffer() error {
 }
 
 func (r runner) shortFlows() error {
-	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed}
+	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child()}
 	if r.quick {
 		cfg.Rates = []units.BitRate{20 * units.Mbps, 60 * units.Mbps}
 		cfg.Warmup, cfg.Measure = 5*units.Second, 15*units.Second
@@ -295,7 +349,10 @@ func (r runner) shortFlows() error {
 		cfg.FlowLens = []int64{6, 14, 30, 62}
 	}
 	points := experiment.RunShortFlowBuffer(cfg)
-	experiment.RenderShortFlowBuffer(os.Stdout, points)
+	r.mergeMetrics("fig8", cfg.Metrics)
+	if err := experiment.Render(os.Stdout, points); err != nil {
+		return err
+	}
 
 	chart := &plot.Chart{
 		Title:  "Short flows: min buffer for AFCT within 12.5% of infinite",
@@ -331,7 +388,7 @@ func (r runner) shortFlows() error {
 }
 
 func (r runner) afct(sizes workload.SizeDist, name string) error {
-	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes}
+	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes, Metrics: r.child()}
 	if r.quick {
 		cfg.NLong = 60
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -339,13 +396,12 @@ func (r runner) afct(sizes workload.SizeDist, name string) error {
 	}
 	fmt.Printf("short-flow sizes: %v\n", sizes)
 	res := experiment.RunAFCTComparison(cfg)
-	experiment.RenderAFCTComparison(os.Stdout, res)
-	_ = name
-	return nil
+	r.mergeMetrics(name, cfg.Metrics)
+	return experiment.Render(os.Stdout, res)
 }
 
 func (r runner) table(red bool) error {
-	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red}
+	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child()}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{50, 100}
@@ -356,8 +412,12 @@ func (r runner) table(red bool) error {
 		fmt.Println("queue discipline: RED")
 	}
 	rows := experiment.RunUtilizationTable(cfg)
-	experiment.RenderUtilizationTable(os.Stdout, rows)
-	return nil
+	id := "fig10"
+	if red {
+		id = "red"
+	}
+	r.mergeMetrics(id, cfg.Metrics)
+	return experiment.Render(os.Stdout, rows)
 }
 
 func (r runner) production() error {
@@ -368,8 +428,7 @@ func (r runner) production() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	rows := experiment.RunProduction(cfg)
-	experiment.RenderProduction(os.Stdout, rows)
-	return nil
+	return experiment.Render(os.Stdout, rows)
 }
 
 func (r runner) pacing() error {
@@ -381,8 +440,7 @@ func (r runner) pacing() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	points := experiment.RunPacingAblation(cfg)
-	experiment.RenderPacing(os.Stdout, points)
-	return nil
+	return experiment.Render(os.Stdout, points)
 }
 
 func (r runner) smoothing() error {
@@ -392,8 +450,7 @@ func (r runner) smoothing() error {
 		cfg.Warmup, cfg.Measure = 8*units.Second, 30*units.Second
 	}
 	points := experiment.RunSmoothing(cfg)
-	experiment.RenderSmoothing(os.Stdout, points, cfg.TailAt)
-	return nil
+	return experiment.Render(os.Stdout, points)
 }
 
 func (r runner) backbone() error {
@@ -404,15 +461,7 @@ func (r runner) backbone() error {
 		cfg.Warmup, cfg.Measure = 8*units.Second, 15*units.Second
 	}
 	res := experiment.RunBackbone(cfg)
-	fmt.Printf("default 1s buffer: %d packets; running at %.1f%% of it = %d packets "+
-		"(RTTxC/sqrt(n) = %d)\n",
-		res.OneSecondBuffer, 100*float64(res.SmallBuffer)/float64(res.OneSecondBuffer),
-		res.SmallBuffer, res.SqrtRule)
-	fmt.Printf("utilization %.2f%% (degradation %.2f%%), loss %.2f%%\n",
-		100*res.Small.Utilization, 100*res.UtilDegradation, 100*res.Small.LossRate)
-	fmt.Printf("queueing delay: mean %v, P99 %v (vs up to 1s with the default buffer)\n",
-		res.Small.QueueDelayMean, res.Small.QueueDelayP99)
-	return nil
+	return experiment.Render(os.Stdout, res)
 }
 
 func (r runner) multihop() error {
@@ -423,13 +472,7 @@ func (r runner) multihop() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	res := experiment.RunMultiHop(cfg)
-	fmt.Printf("two bottlenecks, %d flows per link, buffer %d pkts each (1x sqrt rule)\n",
-		res.FlowsPerLink, res.BufferPackets)
-	fmt.Printf("hop 1: %.2f%% utilization, %.2f%% loss\n", 100*res.Util[0], 100*res.LossRate[0])
-	fmt.Printf("hop 2: %.2f%% utilization, %.2f%% loss\n", 100*res.Util[1], 100*res.LossRate[1])
-	fmt.Printf("two-bottleneck flows' share of hop 1: %.1f%% (fair share 50%%)\n",
-		100*res.CrossingShare)
-	return nil
+	return experiment.Render(os.Stdout, res)
 }
 
 func (r runner) variants() error {
@@ -440,8 +483,7 @@ func (r runner) variants() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	points := experiment.RunVariantAblation(cfg)
-	experiment.RenderVariants(os.Stdout, points)
-	return nil
+	return experiment.Render(os.Stdout, points)
 }
 
 func (r runner) ecn() error {
@@ -452,12 +494,7 @@ func (r runner) ecn() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	res := experiment.RunECN(cfg)
-	fmt.Printf("RED buffer %d pkts (2x sqrt rule), %d flows\n", res.BufferPackets, res.Drop.N)
-	fmt.Printf("RED drop: util %.2f%%, loss %.2f%%, timeouts %d\n",
-		100*res.Drop.Utilization, 100*res.Drop.LossRate, res.Drop.Timeouts)
-	fmt.Printf("RED mark (ECN): util %.2f%%, loss %.2f%%, timeouts %d\n",
-		100*res.Mark.Utilization, 100*res.Mark.LossRate, res.Mark.Timeouts)
-	return nil
+	return experiment.Render(os.Stdout, res)
 }
 
 func (r runner) harpoon() error {
@@ -468,16 +505,7 @@ func (r runner) harpoon() error {
 		cfg.Warmup, cfg.Measure = 15*units.Second, 25*units.Second
 	}
 	res := experiment.RunHarpoon(cfg)
-	fmt.Printf("closed-loop sessions; calibrated concurrent flows n = %d, RTTxC/sqrt(n) = %d pkts\n",
-		res.CalibratedN, res.SqrtRule)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Buffer\tPkts\tUtil\tActiveFlows\tTransfers")
-	for _, row := range res.Rows {
-		fmt.Fprintf(tw, "%.1fx\t%d\t%.2f%%\t%.0f\t%d\n",
-			row.Factor, row.Buffer, 100*row.Utilization, row.MeanActive, row.Transfers)
-	}
-	tw.Flush()
-	return nil
+	return experiment.Render(os.Stdout, res)
 }
 
 func (r runner) codel() error {
@@ -488,15 +516,7 @@ func (r runner) codel() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	rows := experiment.RunCoDel(cfg)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Design\tPkts\tUtil\tP99 delay\tLoss")
-	for _, row := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%.2f%%\t%.1fms\t%.2f%%\n",
-			row.Label, row.BufferPackets, 100*row.Utilization,
-			row.QueueDelayP99.Milliseconds(), 100*row.LossRate)
-	}
-	tw.Flush()
-	return nil
+	return experiment.Render(os.Stdout, rows)
 }
 
 func (r runner) rttSpread() error {
@@ -507,13 +527,7 @@ func (r runner) rttSpread() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 25*units.Second
 	}
 	points := experiment.RunRTTSpread(cfg)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "RTTSpread\tUtil\tSyncIndex")
-	for _, p := range points {
-		fmt.Fprintf(tw, "%v\t%.2f%%\t%.2f\n", p.Spread, 100*p.Utilization, p.SyncIndex)
-	}
-	tw.Flush()
-	return nil
+	return experiment.Render(os.Stdout, points)
 }
 
 func (r runner) sync() error {
@@ -524,6 +538,5 @@ func (r runner) sync() error {
 		cfg.Warmup, cfg.Measure = 10*units.Second, 20*units.Second
 	}
 	points := experiment.RunSyncAblation(cfg)
-	experiment.RenderSync(os.Stdout, points)
-	return nil
+	return experiment.Render(os.Stdout, points)
 }

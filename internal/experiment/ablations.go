@@ -48,7 +48,7 @@ type PacingPoint struct {
 }
 
 // RunPacingAblation executes the pacing comparison.
-func RunPacingAblation(cfg PacingConfig) []PacingPoint {
+func RunPacingAblation(cfg PacingConfig) PacingTable {
 	cfg = cfg.withDefaults()
 	ll := LongLivedConfig{
 		Seed:           cfg.Seed,
@@ -131,7 +131,7 @@ func (c SmoothingConfig) withDefaults() SmoothingConfig {
 		c.MaxWindow = 43
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.Stations == 0 {
 		c.Stations = 50
@@ -166,11 +166,11 @@ type SmoothingPoint struct {
 }
 
 // RunSmoothing executes the access-link smoothing ablation.
-func RunSmoothing(cfg SmoothingConfig) []SmoothingPoint {
+func RunSmoothing(cfg SmoothingConfig) SmoothingTable {
 	cfg = cfg.withDefaults()
 	moments := model.MomentsForFlowLength(cfg.FlowLen, 2, cfg.MaxWindow)
 
-	var out []SmoothingPoint
+	out := SmoothingTable{TailAt: cfg.TailAt}
 	for _, ratio := range cfg.AccessRatios {
 		sched := sim.NewScheduler()
 		rng := sim.NewRNG(cfg.Seed)
@@ -223,7 +223,7 @@ func RunSmoothing(cfg SmoothingConfig) []SmoothingPoint {
 			p.TailProb = float64(exceed) / float64(samples)
 			p.MeanQueue = occupancy / float64(samples)
 		}
-		out = append(out, p)
+		out.Points = append(out.Points, p)
 	}
 	return out
 }

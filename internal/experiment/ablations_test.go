@@ -49,7 +49,7 @@ func TestRunSmoothingSlowAccessReducesTail(t *testing.T) {
 		AccessRatios:   []float64{10, 0.25},
 		Warmup:         8 * units.Second,
 		Measure:        40 * units.Second,
-	})
+	}).Points
 	if len(points) != 2 {
 		t.Fatalf("got %d points", len(points))
 	}

@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"math"
+	"time"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
@@ -26,7 +28,17 @@ type AFCTComparisonConfig struct {
 	SegmentSize     units.ByteSize
 	MaxWindow       int // short flows' receiver cap
 
+	// Variant, DelayedAck and Paced apply to every sender (long-lived and
+	// short), as in LongLivedConfig.
+	Variant    tcp.Variant
+	DelayedAck bool
+	Paced      bool
+
 	Warmup, Measure units.Duration
+
+	// Metrics, when non-nil, receives telemetry for both regimes, merged
+	// under the regime labels ("RTT*C", "RTT*C/sqrt(n)").
+	Metrics *metrics.Registry
 }
 
 func (c AFCTComparisonConfig) withDefaults() AFCTComparisonConfig {
@@ -52,7 +64,7 @@ func (c AFCTComparisonConfig) withDefaults() AFCTComparisonConfig {
 		c.RTTMax = 140 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.MaxWindow == 0 {
 		c.MaxWindow = 43
@@ -94,7 +106,17 @@ type MixedConfig struct {
 	MaxWindow       int
 	BufferPackets   int
 
+	// Variant, DelayedAck and Paced apply to every sender, as in
+	// LongLivedConfig.
+	Variant    tcp.Variant
+	DelayedAck bool
+	Paced      bool
+
 	Warmup, Measure units.Duration
+
+	// Metrics, when non-nil, receives the run's telemetry (see
+	// LongLivedConfig.Metrics).
+	Metrics *metrics.Registry
 }
 
 // RunMixed executes one mixed-traffic scenario.
@@ -110,6 +132,9 @@ func RunMixed(cfg MixedConfig) AFCTOutcome {
 		RTTMax:          cfg.RTTMax,
 		SegmentSize:     cfg.SegmentSize,
 		MaxWindow:       cfg.MaxWindow,
+		Variant:         cfg.Variant,
+		DelayedAck:      cfg.DelayedAck,
+		Paced:           cfg.Paced,
 		Warmup:          cfg.Warmup,
 		Measure:         cfg.Measure,
 	}.withDefaults()
@@ -117,7 +142,7 @@ func RunMixed(cfg MixedConfig) AFCTOutcome {
 	if buffer < 1 {
 		buffer = 1
 	}
-	return runMixedOnce(base, "mixed", buffer)
+	return runMixedOnce(base, "mixed", buffer, cfg.Metrics)
 }
 
 // AFCTComparisonResult pairs the two buffer regimes.
@@ -141,9 +166,19 @@ type TraceConfig struct {
 	BufferPackets  int // 0 = unlimited
 	Stations       int
 
+	// Variant, DelayedAck and Paced apply to every replayed sender, as in
+	// LongLivedConfig.
+	Variant    tcp.Variant
+	DelayedAck bool
+	Paced      bool
+
 	// Drain bounds how long after the last arrival the simulation keeps
 	// running for stragglers (default 60 s).
 	Drain units.Duration
+
+	// Metrics, when non-nil, receives the run's telemetry (see
+	// LongLivedConfig.Metrics).
+	Metrics *metrics.Registry
 }
 
 // TraceResult summarizes a replayed trace.
@@ -160,7 +195,7 @@ func RunTrace(cfg TraceConfig) TraceResult {
 		return TraceResult{}
 	}
 	if cfg.SegmentSize == 0 {
-		cfg.SegmentSize = 1000
+		cfg.SegmentSize = units.DefaultSegment
 	}
 	if cfg.MaxWindow == 0 {
 		cfg.MaxWindow = 43
@@ -181,6 +216,7 @@ func RunTrace(cfg TraceConfig) TraceResult {
 	if cfg.BufferPackets > 0 {
 		limit = queue.PacketLimit(cfg.BufferPackets)
 	}
+	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 	d := topology.NewDumbbell(topology.Config{
@@ -193,9 +229,13 @@ func RunTrace(cfg TraceConfig) TraceResult {
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
 	})
+	instrumentDumbbell(cfg.Metrics, sched, d)
 	records := workload.Replay(d, cfg.Flows, tcp.Config{
 		SegmentSize: cfg.SegmentSize,
 		MaxWindow:   cfg.MaxWindow,
+		Variant:     cfg.Variant,
+		DelayedAck:  cfg.DelayedAck,
+		Paced:       cfg.Paced,
 	})
 	last := cfg.Flows[len(cfg.Flows)-1].Start
 	first := cfg.Flows[0].Start
@@ -219,12 +259,14 @@ func RunTrace(cfg TraceConfig) TraceResult {
 	if res.Completed > 0 {
 		res.AFCT = sum / units.Duration(res.Completed)
 	}
+	observeWallTime(cfg.Metrics, wallStart, sched)
 	return res
 }
 
-// runMixedOnce runs one mixed-traffic scenario at one buffer size. cfg
-// must already have defaults applied.
-func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int) AFCTOutcome {
+// runMixedOnce runs one mixed-traffic scenario at one buffer size, wiring
+// telemetry into reg when non-nil. cfg must already have defaults applied.
+func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metrics.Registry) AFCTOutcome {
+	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 	d := topology.NewDumbbell(topology.Config{
@@ -237,14 +279,26 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int) AFCTOutcom
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
 	})
+	instrumentDumbbell(reg, sched, d)
 	workload.StartLongLived(d, cfg.NLong,
-		tcp.Config{SegmentSize: cfg.SegmentSize}, rng.Fork(), cfg.Warmup/2)
+		tcp.Config{
+			SegmentSize: cfg.SegmentSize,
+			Variant:     cfg.Variant,
+			DelayedAck:  cfg.DelayedAck,
+			Paced:       cfg.Paced,
+		}, rng.Fork(), cfg.Warmup/2)
 	gen := workload.NewShortFlows(workload.ShortFlowConfig{
 		Dumbbell: d,
 		RNG:      rng.Fork(),
 		Load:     cfg.ShortLoad,
 		Sizes:    cfg.Sizes,
-		TCP:      tcp.Config{SegmentSize: cfg.SegmentSize, MaxWindow: cfg.MaxWindow},
+		TCP: tcp.Config{
+			SegmentSize: cfg.SegmentSize,
+			MaxWindow:   cfg.MaxWindow,
+			Variant:     cfg.Variant,
+			DelayedAck:  cfg.DelayedAck,
+			Paced:       cfg.Paced,
+		},
 	})
 	gen.Start()
 
@@ -260,6 +314,7 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int) AFCTOutcom
 	}
 	gen.Stop()
 	sched.Run(measureEnd + units.Time(60*units.Second)) // drain
+	observeWallTime(reg, wallStart, sched)
 	afct, completed, censored := gen.AFCT(warmEnd, measureEnd)
 	return AFCTOutcome{
 		Label: label, BufferPackets: buffer, AFCT: afct,
@@ -275,9 +330,18 @@ func RunAFCTComparison(cfg AFCTComparisonConfig) AFCTComparisonResult {
 	bdp := units.PacketsInFlight(cfg.BottleneckRate, meanRTT, cfg.SegmentSize)
 	small := SqrtRuleBuffer(float64(bdp), cfg.NLong)
 
-	return AFCTComparisonResult{
-		BDPPackets: bdp,
-		RuleThumb:  runMixedOnce(cfg, "RTT*C", int(math.Max(1, float64(bdp)))),
-		SqrtRule:   runMixedOnce(cfg, "RTT*C/sqrt(n)", small),
+	var thumbReg, sqrtReg *metrics.Registry
+	if cfg.Metrics != nil {
+		thumbReg, sqrtReg = metrics.New(), metrics.New()
 	}
+	res := AFCTComparisonResult{
+		BDPPackets: bdp,
+		RuleThumb:  runMixedOnce(cfg, "RTT*C", int(math.Max(1, float64(bdp))), thumbReg),
+		SqrtRule:   runMixedOnce(cfg, "RTT*C/sqrt(n)", small, sqrtReg),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Merge(res.RuleThumb.Label, thumbReg)
+		cfg.Metrics.Merge(res.SqrtRule.Label, sqrtReg)
+	}
+	return res
 }

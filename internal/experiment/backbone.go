@@ -41,7 +41,7 @@ func (c BackboneConfig) withDefaults() BackboneConfig {
 		c.RTTMax = 140 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.BufferFraction == 0 {
 		c.BufferFraction = 0.005

@@ -48,7 +48,7 @@ type CoDelRow struct {
 }
 
 // RunCoDel executes the comparison. Rows run in parallel.
-func RunCoDel(cfg CoDelConfig) []CoDelRow {
+func RunCoDel(cfg CoDelConfig) CoDelTable {
 	cfg = cfg.withDefaults()
 	base := LongLivedConfig{
 		Seed:           cfg.Seed,

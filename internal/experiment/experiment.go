@@ -11,7 +11,9 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -55,11 +57,16 @@ type LongLivedConfig struct {
 	DelayedAck bool
 	// Paced enables sender pacing (the TR's small-buffer remedy).
 	Paced bool
+
+	// Metrics, when non-nil, receives the run's telemetry (scheduler,
+	// bottleneck queue and link, TCP aggregates). Telemetry only observes:
+	// the packet trace is identical with Metrics nil or set.
+	Metrics *metrics.Registry
 }
 
 func (c LongLivedConfig) withDefaults() LongLivedConfig {
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.BottleneckDelay == 0 {
 		c.BottleneckDelay = 5 * units.Millisecond
@@ -110,6 +117,7 @@ type LongLivedResult struct {
 // RunLongLived executes one long-lived-flow scenario.
 func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 	cfg = cfg.withDefaults()
+	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 
@@ -144,6 +152,7 @@ func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 		}
 	}
 	d := topology.NewDumbbell(topoCfg)
+	instrumentDumbbell(cfg.Metrics, sched, d)
 
 	spec := tcp.Config{
 		SegmentSize: cfg.SegmentSize,
@@ -217,6 +226,7 @@ func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 		res.QueueDelayMean = delaySum / units.Duration(delayN)
 		res.QueueDelayP99 = units.Duration(stats.Percentile(delays, 99))
 	}
+	observeWallTime(cfg.Metrics, wallStart, sched)
 	return res
 }
 

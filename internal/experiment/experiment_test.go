@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -400,54 +401,70 @@ func TestSqrtRuleBufferFloor(t *testing.T) {
 }
 
 func TestRenderers(t *testing.T) {
-	var sb strings.Builder
-	RenderUtilizationTable(&sb, []UtilizationRow{{N: 100, Factor: 1, Packets: 129, RAMMbit: 1.0, ModelUtil: 0.999, SimUtil: 0.993}})
-	if !strings.Contains(sb.String(), "Flows") || !strings.Contains(sb.String(), "129") {
-		t.Errorf("utilization table:\n%s", sb.String())
+	// Every result renders through the uniform Result interface: Table()
+	// must contain the key values, WriteJSON must produce valid JSON.
+	cases := []struct {
+		name string
+		res  Result
+		want string
+	}{
+		{"utilization", UtilizationTable{{N: 100, Factor: 1, Packets: 129, RAMMbit: 1.0, ModelUtil: 0.999, SimUtil: 0.993}}, "129"},
+		{"minbuffer", MinBufferResult{BDPPackets: 1291, Points: []MinBufferPoint{{N: 100, Target: 0.98, MinBuffer: 120, SqrtRule: 129, Achieved: 0.985}}}, "1291"},
+		{"shortflow", ShortFlowBufferTable{{Rate: 40 * units.Mbps, FlowLen: 14, MinBuffer: 30, ModelBuffer: 44.2, BaselineAFCT: 300 * units.Millisecond, AchievedAFCT: 330 * units.Millisecond}}, "40Mbps"},
+		{"afct", AFCTComparisonResult{BDPPackets: 250, RuleThumb: AFCTOutcome{Label: "RTT*C", BufferPackets: 250, AFCT: 400 * units.Millisecond}, SqrtRule: AFCTOutcome{Label: "RTT*C/sqrt(n)", BufferPackets: 25, AFCT: 250 * units.Millisecond}}, "sqrt"},
+		{"production", ProductionTable{{Buffer: 46, SqrtRuleRatio: 0.8, Utilization: 0.974, ModelUtil: 0.959, MeanConcurrent: 400}}, "46"},
+		{"sync", SyncTable{{N: 10, SyncIndex: 2.5, KS: 0.1, Mean: 100, StdDev: 20}}, "SyncIndex"},
+		{"pacing", PacingTable{{BufferPackets: 10, Factor: 0.25, UtilUnpaced: 0.8, UtilPaced: 0.95}}, "paced"},
+		{"smoothing", SmoothingTable{TailAt: 20, Points: []SmoothingPoint{{AccessRatio: 10, TailProb: 0.1, ModelMG1: 0.2, ModelMD1: 0.01, MeanQueue: 4}}}, "M/D/1"},
+		{"variants", VariantTable{{Utilization: 0.99, LossRate: 0.01}}, "Variant"},
+		{"rttspread", RTTSpreadTable{{Spread: 40 * units.Millisecond, Utilization: 0.99, SyncIndex: 1.2}}, "SyncIndex"},
+		{"codel", CoDelTable{{Label: "codel", BufferPackets: 100, Utilization: 0.99}}, "codel"},
+		{"harpoon", HarpoonResult{CalibratedN: 40, SqrtRule: 20, Rows: []HarpoonRow{{Factor: 1, Buffer: 20, Utilization: 0.97}}}, "calibrated"},
+		{"backbone", BackboneResult{OneSecondBuffer: 1000, SmallBuffer: 50, SqrtRule: 30}, "1s buffer"},
+		{"multihop", MultiHopResult{BufferPackets: 20, FlowsPerLink: 80}, "hop 2"},
+		{"ecn", ECNResult{BufferPackets: 60}, "ECN"},
+		{"longlived", LongLivedResult{N: 100, BufferPackets: 129, Utilization: 0.993}, "129"},
+		{"replicated", ReplicatedResult{Replicas: 5, MeanUtilization: 0.99}, "Replicas"},
+		{"trace", TraceResult{Completed: 10, AFCT: 100 * units.Millisecond}, "AFCT"},
 	}
-	sb.Reset()
-	RenderMinBuffer(&sb, MinBufferResult{BDPPackets: 1291, Points: []MinBufferPoint{{N: 100, Target: 0.98, MinBuffer: 120, SqrtRule: 129, Achieved: 0.985}}})
-	if !strings.Contains(sb.String(), "1291") {
-		t.Errorf("min-buffer table:\n%s", sb.String())
+	for _, tc := range cases {
+		var sb strings.Builder
+		if err := Render(&sb, tc.res); err != nil {
+			t.Errorf("%s: Render: %v", tc.name, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), tc.want) {
+			t.Errorf("%s table missing %q:\n%s", tc.name, tc.want, sb.String())
+		}
+		var jb strings.Builder
+		if err := tc.res.WriteJSON(&jb); err != nil {
+			t.Errorf("%s: WriteJSON: %v", tc.name, err)
+			continue
+		}
+		if !json.Valid([]byte(jb.String())) {
+			t.Errorf("%s: WriteJSON produced invalid JSON:\n%s", tc.name, jb.String())
+		}
 	}
-	sb.Reset()
-	RenderShortFlowBuffer(&sb, []ShortFlowBufferPoint{{Rate: 40 * units.Mbps, FlowLen: 14, MinBuffer: 30, ModelBuffer: 44.2, BaselineAFCT: 300 * units.Millisecond, AchievedAFCT: 330 * units.Millisecond}})
-	if !strings.Contains(sb.String(), "40Mbps") {
-		t.Errorf("short-flow table:\n%s", sb.String())
-	}
-	sb.Reset()
-	RenderAFCTComparison(&sb, AFCTComparisonResult{BDPPackets: 250, RuleThumb: AFCTOutcome{Label: "RTT*C", BufferPackets: 250, AFCT: 400 * units.Millisecond}, SqrtRule: AFCTOutcome{Label: "RTT*C/sqrt(n)", BufferPackets: 25, AFCT: 250 * units.Millisecond}})
-	if !strings.Contains(sb.String(), "sqrt") {
-		t.Errorf("afct table:\n%s", sb.String())
-	}
-	sb.Reset()
-	RenderProduction(&sb, []ProductionRow{{Buffer: 46, SqrtRuleRatio: 0.8, Utilization: 0.974, ModelUtil: 0.959, MeanConcurrent: 400}})
-	if !strings.Contains(sb.String(), "46") {
-		t.Errorf("production table:\n%s", sb.String())
-	}
-	sb.Reset()
-	RenderSync(&sb, []SyncPoint{{N: 10, SyncIndex: 2.5, KS: 0.1, Mean: 100, StdDev: 20}})
-	if !strings.Contains(sb.String(), "SyncIndex") {
-		t.Errorf("sync table:\n%s", sb.String())
-	}
-	sb.Reset()
-	RenderPacing(&sb, []PacingPoint{{BufferPackets: 10, Factor: 0.25, UtilUnpaced: 0.8, UtilPaced: 0.95}})
-	if !strings.Contains(sb.String(), "paced") {
-		t.Errorf("pacing table:\n%s", sb.String())
-	}
-	sb.Reset()
-	RenderSmoothing(&sb, []SmoothingPoint{{AccessRatio: 10, TailProb: 0.1, ModelMG1: 0.2, ModelMD1: 0.01, MeanQueue: 4}}, 20)
-	if !strings.Contains(sb.String(), "M/D/1") {
-		t.Errorf("smoothing table:\n%s", sb.String())
-	}
-	sb.Reset()
+
+	// Results carrying non-trivial payloads (histograms, series) render
+	// from real runs.
 	res := RunWindowDist(WindowDistConfig{
 		Seed: 1, N: 4, BottleneckRate: 5 * units.Mbps,
 		Warmup: 3 * units.Second, Measure: 5 * units.Second,
 	})
-	RenderWindowDist(&sb, res)
+	var sb strings.Builder
+	if err := Render(&sb, res); err != nil {
+		t.Fatalf("window dist render: %v", err)
+	}
 	if !strings.Contains(sb.String(), "aggregate window") {
 		t.Errorf("window dist render:\n%s", sb.String())
+	}
+	var jb strings.Builder
+	if err := res.WriteJSON(&jb); err != nil {
+		t.Fatalf("window dist json: %v", err)
+	}
+	if !json.Valid([]byte(jb.String())) {
+		t.Errorf("window dist JSON invalid:\n%s", jb.String())
 	}
 }
 

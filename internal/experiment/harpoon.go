@@ -46,7 +46,7 @@ func (c HarpoonConfig) withDefaults() HarpoonConfig {
 		c.RTTMax = 140 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	// The session population must offer more demand than the link
 	// carries, or the experiment measures demand rather than buffering:

@@ -42,7 +42,7 @@ func (c MinBufferConfig) withDefaults() MinBufferConfig {
 		c.RTTMax = 100 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if len(c.Ns) == 0 {
 		c.Ns = []int{50, 100, 200, 300, 400, 500}

@@ -42,7 +42,7 @@ func (c RTTSpreadConfig) withDefaults() RTTSpreadConfig {
 		}
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.BufferFactor == 0 {
 		c.BufferFactor = 1
@@ -60,7 +60,7 @@ type RTTSpreadPoint struct {
 }
 
 // RunRTTSpread executes the ablation. Points run in parallel.
-func RunRTTSpread(cfg RTTSpreadConfig) []RTTSpreadPoint {
+func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 	cfg = cfg.withDefaults()
 	bdp := float64(units.PacketsInFlight(cfg.BottleneckRate, cfg.MeanRTT, cfg.SegmentSize))
 	buffer := int(math.Max(1, cfg.BufferFactor*float64(SqrtRuleBuffer(bdp, cfg.N))))

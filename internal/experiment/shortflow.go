@@ -1,8 +1,11 @@
 package experiment
 
 import (
+	"fmt"
 	"math"
+	"time"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -35,6 +38,13 @@ type ShortFlowBufferConfig struct {
 	ModelDropProb float64
 
 	Warmup, Measure units.Duration
+
+	// Metrics, when non-nil, receives per-point telemetry: after the
+	// bisection settles each point is re-run at its MinBuffer with a child
+	// registry, merged in under a "rate=...,len=..." prefix. The re-run is
+	// separate from the searched runs, so the reported points are identical
+	// with Metrics nil or set.
+	Metrics *metrics.Registry
 }
 
 func (c ShortFlowBufferConfig) withDefaults() ShortFlowBufferConfig {
@@ -51,7 +61,7 @@ func (c ShortFlowBufferConfig) withDefaults() ShortFlowBufferConfig {
 		c.MaxWindow = 43
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.RTTMin == 0 {
 		c.RTTMin = 60 * units.Millisecond
@@ -107,7 +117,17 @@ type ShortFlowRunConfig struct {
 	MaxWindow     int
 	Stations      int
 
+	// Variant, DelayedAck and Paced select the senders' congestion-control
+	// behaviour, as in LongLivedConfig.
+	Variant    tcp.Variant
+	DelayedAck bool
+	Paced      bool
+
 	Warmup, Measure units.Duration
+
+	// Metrics, when non-nil, receives the run's telemetry (see
+	// LongLivedConfig.Metrics).
+	Metrics *metrics.Registry
 }
 
 func (c ShortFlowRunConfig) withDefaults() ShortFlowRunConfig {
@@ -115,7 +135,7 @@ func (c ShortFlowRunConfig) withDefaults() ShortFlowRunConfig {
 		c.MeanRTT = 100 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.MaxWindow == 0 {
 		c.MaxWindow = 43
@@ -138,6 +158,7 @@ func (c ShortFlowRunConfig) withDefaults() ShortFlowRunConfig {
 // the drain period).
 func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 	cfg = cfg.withDefaults()
+	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 	limit := queue.Unlimited()
@@ -154,12 +175,19 @@ func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 		RTTMin:          cfg.MeanRTT * 6 / 10,
 		RTTMax:          cfg.MeanRTT * 14 / 10,
 	})
+	instrumentDumbbell(cfg.Metrics, sched, d)
 	gen := workload.NewShortFlows(workload.ShortFlowConfig{
 		Dumbbell: d,
 		RNG:      rng.Fork(),
 		Load:     cfg.Load,
 		Sizes:    workload.FixedSize(cfg.FlowLength),
-		TCP:      tcp.Config{SegmentSize: cfg.SegmentSize, MaxWindow: cfg.MaxWindow},
+		TCP: tcp.Config{
+			SegmentSize: cfg.SegmentSize,
+			MaxWindow:   cfg.MaxWindow,
+			Variant:     cfg.Variant,
+			DelayedAck:  cfg.DelayedAck,
+			Paced:       cfg.Paced,
+		},
 	})
 	gen.Start()
 	warmEnd := units.Time(cfg.Warmup)
@@ -168,11 +196,12 @@ func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 	gen.Stop()
 	// Drain so flows that started in the window can complete.
 	sched.Run(measureEnd + units.Time(30*units.Second))
+	observeWallTime(cfg.Metrics, wallStart, sched)
 	return gen.AFCT(warmEnd, measureEnd)
 }
 
 // shortFlowAFCT adapts the Fig. 8 sweep's parameters to ShortFlowAFCT.
-func shortFlowAFCT(cfg ShortFlowBufferConfig, rate units.BitRate, flowLen int64, buffer queue.Limit) (units.Duration, int) {
+func shortFlowAFCT(cfg ShortFlowBufferConfig, rate units.BitRate, flowLen int64, buffer queue.Limit, reg *metrics.Registry) (units.Duration, int) {
 	run := ShortFlowRunConfig{
 		Seed:        cfg.Seed,
 		Rate:        rate,
@@ -184,6 +213,7 @@ func shortFlowAFCT(cfg ShortFlowBufferConfig, rate units.BitRate, flowLen int64,
 		Stations:    cfg.Stations,
 		Warmup:      cfg.Warmup,
 		Measure:     cfg.Measure,
+		Metrics:     reg,
 	}
 	if buffer.Packets > 0 {
 		run.BufferPackets = buffer.Packets
@@ -195,7 +225,7 @@ func shortFlowAFCT(cfg ShortFlowBufferConfig, rate units.BitRate, flowLen int64,
 // RunShortFlowBuffer executes the Fig. 8 experiment. Points (rate x flow
 // length) run in parallel; the bisection within a point is inherently
 // sequential.
-func RunShortFlowBuffer(cfg ShortFlowBufferConfig) []ShortFlowBufferPoint {
+func RunShortFlowBuffer(cfg ShortFlowBufferConfig) ShortFlowBufferTable {
 	cfg = cfg.withDefaults()
 	type task struct {
 		rate    units.BitRate
@@ -213,14 +243,14 @@ func RunShortFlowBuffer(cfg ShortFlowBufferConfig) []ShortFlowBufferPoint {
 		moments := model.MomentsForFlowLength(flowLen, 2, cfg.MaxWindow)
 		modelBuf := moments.MinBuffer(cfg.Load, cfg.ModelDropProb)
 
-		baseline, _ := shortFlowAFCT(cfg, rate, flowLen, queue.Unlimited())
+		baseline, _ := shortFlowAFCT(cfg, rate, flowLen, queue.Unlimited(), nil)
 		budget := units.Duration(float64(baseline) * cfg.AFCTFactor)
 
 		// Bisect on the buffer size; AFCT decreases with buffer.
 		hi := int(math.Max(modelBuf*4, 64))
 		lo := 1
 		afctAt := func(b int) units.Duration {
-			a, _ := shortFlowAFCT(cfg, rate, flowLen, queue.PacketLimit(b))
+			a, _ := shortFlowAFCT(cfg, rate, flowLen, queue.PacketLimit(b), nil)
 			return a
 		}
 		point := ShortFlowBufferPoint{
@@ -244,5 +274,16 @@ func RunShortFlowBuffer(cfg ShortFlowBufferConfig) []ShortFlowBufferPoint {
 		point.MinBuffer, point.AchievedAFCT = hi, aHi
 		out[k] = point
 	})
+	if cfg.Metrics != nil {
+		// Telemetry pass: re-run every point at the buffer the search
+		// settled on, into a child registry merged under the point's label.
+		// Points stay byte-identical because the searched runs above never
+		// see a registry.
+		for _, p := range out {
+			child := metrics.New()
+			shortFlowAFCT(cfg, p.Rate, p.FlowLen, queue.PacketLimit(p.MinBuffer), child)
+			cfg.Metrics.Merge(fmt.Sprintf("rate=%s,len=%d", p.Rate, p.FlowLen), child)
+		}
+	}
 	return out
 }

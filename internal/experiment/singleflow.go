@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"time"
+
+	"bufsim/internal/metrics"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
@@ -24,6 +27,16 @@ type SingleFlowConfig struct {
 
 	Warmup, Measure units.Duration
 	SampleEvery     units.Duration
+
+	// Variant, DelayedAck and Paced select the sender's congestion-control
+	// behaviour (default: plain ACK-clocked Reno, the paper's setup).
+	Variant    tcp.Variant
+	DelayedAck bool
+	Paced      bool
+
+	// Metrics, when non-nil, receives the run's telemetry (see
+	// LongLivedConfig.Metrics).
+	Metrics *metrics.Registry
 }
 
 func (c SingleFlowConfig) withDefaults() SingleFlowConfig {
@@ -34,7 +47,7 @@ func (c SingleFlowConfig) withDefaults() SingleFlowConfig {
 		c.RTT = 100 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.BufferFactor == 0 {
 		c.BufferFactor = 1
@@ -69,6 +82,7 @@ type SingleFlowResult struct {
 // RunSingleFlow executes the Fig. 2–5 scenario.
 func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 	cfg = cfg.withDefaults()
+	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	bdp := units.PacketsInFlight(cfg.BottleneckRate, cfg.RTT, cfg.SegmentSize)
 	buffer := int(cfg.BufferFactor * float64(bdp))
@@ -85,7 +99,13 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 		RTTMin:          cfg.RTT,
 		RTTMax:          cfg.RTT,
 	})
-	f := d.AddFlow(d.Station(0), tcp.Config{SegmentSize: cfg.SegmentSize})
+	instrumentDumbbell(cfg.Metrics, sched, d)
+	f := d.AddFlow(d.Station(0), tcp.Config{
+		SegmentSize: cfg.SegmentSize,
+		Variant:     cfg.Variant,
+		DelayedAck:  cfg.DelayedAck,
+		Paced:       cfg.Paced,
+	})
 	f.Sender.Start()
 
 	cwnd := trace.NewSampler(sched, "cwnd_pkts", cfg.SampleEvery, f.Sender.Cwnd)
@@ -112,5 +132,6 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 	if n := res.Queue.Len(); n > 0 {
 		res.MeanQueue /= float64(n)
 	}
+	observeWallTime(cfg.Metrics, wallStart, sched)
 	return res
 }

@@ -56,7 +56,7 @@ type SyncPoint struct {
 }
 
 // RunSyncAblation measures the synchronization index across flow counts.
-func RunSyncAblation(cfg SyncConfig) []SyncPoint {
+func RunSyncAblation(cfg SyncConfig) SyncTable {
 	cfg = cfg.withDefaults()
 	var out []SyncPoint
 	for _, n := range cfg.Ns {

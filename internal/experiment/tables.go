@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"fmt"
 	"math"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -32,6 +34,12 @@ type UtilizationTableConfig struct {
 	UseRED bool // ablation: run the same table under RED
 
 	Warmup, Measure units.Duration
+
+	// Metrics, when non-nil, receives per-cell telemetry: each (n, factor)
+	// cell runs with its own child registry, merged in deterministic cell
+	// order under an "n=...,factor=..." prefix once the sweep finishes.
+	// Rows are byte-identical with Metrics nil or set, at any Concurrency.
+	Metrics *metrics.Registry
 }
 
 func (c UtilizationTableConfig) withDefaults() UtilizationTableConfig {
@@ -54,7 +62,7 @@ func (c UtilizationTableConfig) withDefaults() UtilizationTableConfig {
 		c.RTTMax = 100 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.Warmup == 0 {
 		c.Warmup = 20 * units.Second
@@ -78,7 +86,7 @@ type UtilizationRow struct {
 }
 
 // RunUtilizationTable executes the Fig. 10 table.
-func RunUtilizationTable(cfg UtilizationTableConfig) []UtilizationRow {
+func RunUtilizationTable(cfg UtilizationTableConfig) UtilizationTable {
 	cfg = cfg.withDefaults()
 	meanRTT := (cfg.RTTMin + cfg.RTTMax) / 2
 	bdp := units.PacketsInFlight(cfg.BottleneckRate, meanRTT, cfg.SegmentSize)
@@ -91,13 +99,20 @@ func RunUtilizationTable(cfg UtilizationTableConfig) []UtilizationRow {
 		}
 	}
 	rows := make([]UtilizationRow, len(cells))
+	var cellRegs []*metrics.Registry
+	if cfg.Metrics != nil {
+		cellRegs = make([]*metrics.Registry, len(cells))
+		for k := range cellRegs {
+			cellRegs[k] = metrics.New()
+		}
+	}
 	parallelFor(len(cells), func(k int) {
 		n := cfg.Ns[cells[k].n]
 		factor := cfg.Factors[cells[k].factorIdx]
 		gauss := model.LongFlowGaussian{N: n, BDP: float64(bdp)}
 		sqrtRule := float64(bdp) / math.Sqrt(float64(n))
 		buffer := int(math.Max(1, math.Round(factor*sqrtRule)))
-		r := RunLongLived(LongLivedConfig{
+		run := LongLivedConfig{
 			Seed:            cfg.Seed + int64(n)*100 + int64(factor*10),
 			N:               n,
 			BottleneckRate:  cfg.BottleneckRate,
@@ -109,7 +124,11 @@ func RunUtilizationTable(cfg UtilizationTableConfig) []UtilizationRow {
 			UseRED:          cfg.UseRED,
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
-		})
+		}
+		if cellRegs != nil {
+			run.Metrics = cellRegs[k]
+		}
+		r := RunLongLived(run)
 		rows[k] = UtilizationRow{
 			N: n, Factor: factor, Packets: buffer,
 			RAMMbit:   float64(buffer) * float64(cfg.SegmentSize.Bits()) / 1e6,
@@ -118,6 +137,9 @@ func RunUtilizationTable(cfg UtilizationTableConfig) []UtilizationRow {
 			LossRate:  r.LossRate,
 		}
 	})
+	for k := range cellRegs {
+		cfg.Metrics.Merge(fmt.Sprintf("n=%d,factor=%g", rows[k].N, rows[k].Factor), cellRegs[k])
+	}
 	return rows
 }
 
@@ -158,7 +180,7 @@ func (c ProductionConfig) withDefaults() ProductionConfig {
 		c.RTTMax = 250 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.NLong == 0 {
 		c.NLong = 60
@@ -193,12 +215,12 @@ type ProductionRow struct {
 }
 
 // RunProduction executes the Fig. 11 experiment.
-func RunProduction(cfg ProductionConfig) []ProductionRow {
+func RunProduction(cfg ProductionConfig) ProductionTable {
 	cfg = cfg.withDefaults()
 	meanRTT := (cfg.RTTMin + cfg.RTTMax) / 2
 	bdp := float64(units.PacketsInFlight(cfg.BottleneckRate, meanRTT, cfg.SegmentSize))
 
-	var rows []ProductionRow
+	var rows ProductionTable
 	for _, buffer := range cfg.Buffers {
 		sched := sim.NewScheduler()
 		rng := sim.NewRNG(cfg.Seed)

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"time"
+
+	"bufsim/internal/metrics"
+	"bufsim/internal/queue"
+	"bufsim/internal/sim"
+	"bufsim/internal/tcp"
+	"bufsim/internal/topology"
+)
+
+// instrumentDumbbell wires a run's telemetry: scheduler counters, the
+// bottleneck queue and link, and TCP aggregates over every flow — both
+// flows already wired and any added later (short-flow workloads create
+// senders on the fly, so tracking hooks Dumbbell.OnAddFlow). Returns nil
+// and does nothing when reg is nil.
+//
+// Everything registered here only observes; no event is scheduled and no
+// RNG is consumed, so the packet trace is identical with reg nil or set.
+func instrumentDumbbell(reg *metrics.Registry, sched *sim.Scheduler, d *topology.Dumbbell) *tcp.Telemetry {
+	if reg == nil {
+		return nil
+	}
+	sched.Instrument(reg)
+	queue.Instrument(reg, "bottleneck", d.Bottleneck.Queue())
+	d.Bottleneck.Instrument(reg, "bottleneck")
+
+	tel := tcp.NewTelemetry(reg)
+	for _, f := range d.Flows() {
+		tel.Track(f.Sender)
+	}
+	prev := d.OnAddFlow
+	d.OnAddFlow = func(f *topology.Flow) {
+		tel.Track(f.Sender)
+		if prev != nil {
+			prev(f)
+		}
+	}
+	return tel
+}
+
+// observeWallTime publishes the real-time cost of a finished run: total
+// wall seconds and wall seconds per simulated second. Call after the last
+// sched.Run with the time captured before the first. No-op on nil reg.
+func observeWallTime(reg *metrics.Registry, start time.Time, sched *sim.Scheduler) {
+	if reg == nil {
+		return
+	}
+	wall := time.Since(start).Seconds()
+	reg.Gauge("sim.wall_seconds").Set(wall)
+	if s := sched.Now().Seconds(); s > 0 {
+		reg.Gauge("sim.wall_seconds_per_sim_second").Set(wall / s)
+	}
+}

@@ -50,7 +50,7 @@ type VariantPoint struct {
 }
 
 // RunVariantAblation measures each variant on the same scenario.
-func RunVariantAblation(cfg VariantConfig) []VariantPoint {
+func RunVariantAblation(cfg VariantConfig) VariantTable {
 	cfg = cfg.withDefaults()
 	ll := LongLivedConfig{
 		Seed:           cfg.Seed,

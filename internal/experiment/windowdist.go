@@ -44,7 +44,7 @@ func (c WindowDistConfig) withDefaults() WindowDistConfig {
 		c.RTTMax = 140 * units.Millisecond
 	}
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.BufferFactor == 0 {
 		c.BufferFactor = 1

@@ -9,6 +9,7 @@
 package link
 
 import (
+	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -140,6 +141,24 @@ func (l *Link) Utilization(busyAtFrom units.Duration, from units.Time) float64 {
 		return 0
 	}
 	return float64(l.BusyTime()-busyAtFrom) / float64(window)
+}
+
+// Instrument registers the link's telemetry into reg under name: busy
+// (transmitting) seconds and delivered packet/byte counts, published by a
+// snapshot-time collector. The link's queue is instrumented separately via
+// queue.Instrument. A nil registry is a no-op.
+func (l *Link) Instrument(reg *metrics.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	busy := reg.Gauge(name + ".busy_seconds")
+	pkts := reg.Counter(name + ".delivered_packets")
+	bytes := reg.Counter(name + ".delivered_bytes")
+	reg.OnCollect(func() {
+		busy.Set(l.BusyTime().Seconds())
+		pkts.Set(l.deliveredPackets)
+		bytes.Set(int64(l.deliveredBytes))
+	})
 }
 
 // DeliveredPackets returns the count of fully transmitted packets.

@@ -3,6 +3,7 @@ package queue
 import (
 	"math"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/units"
 )
@@ -52,6 +53,10 @@ type CoDel struct {
 	// SojournDrops counts packets dropped by the control law (as opposed
 	// to tail drops at the physical limit).
 	SojournDrops int64
+
+	// sojourn, when non-nil (see Instrument), records each delivered
+	// packet's queueing delay.
+	sojourn *metrics.Histogram
 }
 
 // NewCoDel returns a CoDel queue.
@@ -143,6 +148,7 @@ func (c *CoDel) Dequeue(now units.Time) *packet.Packet {
 	}
 	if p != nil {
 		c.stats.DequeuedPackets++
+		observeSojourn(c.sojourn, p.Enqueued, now)
 	}
 	return p
 }

@@ -1,0 +1,73 @@
+package queue
+
+import (
+	"bufsim/internal/metrics"
+	"bufsim/internal/units"
+)
+
+// sojournBuckets spans 10 µs to ~84 s in doubling steps — wide enough for
+// any buffer the experiments size, in milliseconds.
+var sojournBuckets = metrics.ExpBuckets(0.01, 2, 24)
+
+// Instrument registers q's telemetry into reg under name (e.g.
+// "queue.bottleneck"): the cumulative acceptance/drop counters every
+// discipline maintains, occupancy, a per-packet sojourn-time histogram
+// (milliseconds), and discipline-specific extras — peak occupancy for
+// drop-tail, ECN marks and the average-queue estimate for RED, control-law
+// drops for CoDel. Counters are published by a snapshot-time collector;
+// the only hot-path addition is the sojourn observation at dequeue, which
+// is disabled (nil histogram) unless Instrument is called. A nil registry
+// is a no-op.
+func Instrument(reg *metrics.Registry, name string, q Queue) {
+	if reg == nil || q == nil {
+		return
+	}
+	soj := reg.Histogram(name+".sojourn_ms", sojournBuckets)
+	enq := reg.Counter(name + ".enqueued_packets")
+	deq := reg.Counter(name + ".dequeued_packets")
+	drops := reg.Counter(name + ".dropped_packets")
+	dropBytes := reg.Counter(name + ".dropped_bytes")
+	occ := reg.Gauge(name + ".occupancy_packets")
+	occBytes := reg.Gauge(name + ".occupancy_bytes")
+
+	var extra func()
+	switch t := q.(type) {
+	case *DropTail:
+		t.sojourn = soj
+		occMax := reg.Gauge(name + ".occupancy_max_packets")
+		extra = func() { occMax.Set(float64(t.MaxOccupancy())) }
+	case *RED:
+		t.sojourn = soj
+		marks := reg.Counter(name + ".ecn_marked_packets")
+		avg := reg.Gauge(name + ".red_avg_queue_packets")
+		extra = func() {
+			marks.Set(t.Marked)
+			avg.Set(t.AvgQueue())
+		}
+	case *CoDel:
+		t.sojourn = soj
+		ctrl := reg.Counter(name + ".codel_sojourn_drops")
+		extra = func() { ctrl.Set(t.SojournDrops) }
+	}
+
+	reg.OnCollect(func() {
+		st := q.Stats()
+		enq.Set(st.EnqueuedPackets)
+		deq.Set(st.DequeuedPackets)
+		drops.Set(st.DroppedPackets)
+		dropBytes.Set(int64(st.DroppedBytes))
+		occ.Set(float64(q.Len()))
+		occBytes.Set(float64(q.Bytes()))
+		if extra != nil {
+			extra()
+		}
+	})
+}
+
+// observeSojourn records a dequeued packet's queueing delay. h may be nil
+// (metrics disabled), making this a single nil check on the hot path.
+func observeSojourn(h *metrics.Histogram, queued units.Time, now units.Time) {
+	if h != nil {
+		h.Observe(now.Sub(queued).Milliseconds())
+	}
+}

@@ -6,6 +6,7 @@
 package queue
 
 import (
+	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/units"
 )
@@ -130,6 +131,10 @@ type DropTail struct {
 	lastChange units.Time
 	areaPkts   float64 // integral of Len() dt, in packet-seconds
 	maxLen     int
+
+	// sojourn, when non-nil (see Instrument), records each dequeued
+	// packet's queueing delay.
+	sojourn *metrics.Histogram
 }
 
 // NewDropTail returns a drop-tail queue with the given buffer limit.
@@ -161,6 +166,7 @@ func (d *DropTail) Dequeue(now units.Time) *packet.Packet {
 	p := d.q.pop()
 	if p != nil {
 		d.stats.DequeuedPackets++
+		observeSojourn(d.sojourn, p.Enqueued, now)
 	}
 	return p
 }

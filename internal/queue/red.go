@@ -3,6 +3,7 @@ package queue
 import (
 	"math"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/units"
 )
@@ -63,6 +64,10 @@ type RED struct {
 
 	// Marked counts packets CE-marked instead of dropped (MarkECN).
 	Marked int64
+
+	// sojourn, when non-nil (see Instrument), records each dequeued
+	// packet's queueing delay.
+	sojourn *metrics.Histogram
 }
 
 // NewRED returns a RED queue. The config's Rand must be non-nil.
@@ -136,6 +141,7 @@ func (r *RED) Dequeue(now units.Time) *packet.Packet {
 	p := r.q.pop()
 	if p != nil {
 		r.stats.DequeuedPackets++
+		observeSojourn(r.sojourn, p.Enqueued, now)
 		if r.q.count == 0 {
 			r.idle = true
 			r.idleSince = now

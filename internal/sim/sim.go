@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"bufsim/internal/metrics"
 	"bufsim/internal/units"
 )
 
@@ -64,10 +65,11 @@ func (h *eventHeap) Pop() any {
 // Scheduler is the simulation event loop. The zero value is not usable;
 // call NewScheduler.
 type Scheduler struct {
-	now     units.Time
-	seq     uint64
-	pending eventHeap
-	stopped bool
+	now        units.Time
+	seq        uint64
+	pending    eventHeap
+	maxPending int
+	stopped    bool
 
 	// Processed counts the events executed so far; useful for
 	// benchmarking the kernel itself.
@@ -95,7 +97,33 @@ func (s *Scheduler) At(t units.Time, fn func()) *Event {
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.pending, e)
+	if len(s.pending) > s.maxPending {
+		s.maxPending = len(s.pending)
+	}
 	return e
+}
+
+// MaxPending returns the deepest the event heap has been.
+func (s *Scheduler) MaxPending() int { return s.maxPending }
+
+// Instrument registers the kernel's telemetry into reg: events processed,
+// current and peak heap depth, and the simulated clock. Values are
+// published by a snapshot-time collector, so instrumentation adds no
+// per-event work and cannot perturb scheduling. A nil registry is a no-op.
+func (s *Scheduler) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	events := reg.Counter("sim.events_processed")
+	depth := reg.Gauge("sim.heap_depth")
+	depthMax := reg.Gauge("sim.heap_depth_max")
+	clock := reg.Gauge("sim.time_seconds")
+	reg.OnCollect(func() {
+		events.Set(int64(s.Processed))
+		depth.Set(float64(len(s.pending)))
+		depthMax.Set(float64(s.maxPending))
+		clock.Set(s.now.Seconds())
+	})
 }
 
 // After schedules fn to run d from now.

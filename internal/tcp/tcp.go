@@ -105,7 +105,7 @@ type Config struct {
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.SegmentSize == 0 {
-		c.SegmentSize = 1000
+		c.SegmentSize = units.DefaultSegment
 	}
 	if c.AckSize == 0 {
 		c.AckSize = 40

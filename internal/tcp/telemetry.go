@@ -1,0 +1,101 @@
+package tcp
+
+import (
+	"bufsim/internal/metrics"
+	"bufsim/internal/units"
+)
+
+// cwndBuckets spans 1 to 2^19 segments in doubling steps — any window a
+// simulated sender can reach.
+var cwndBuckets = metrics.ExpBuckets(1, 2, 20)
+
+// Telemetry aggregates per-flow sender counters into a metrics registry:
+// segments sent, retransmits, timeouts, fast recoveries, ACK and duplicate
+// ACK counts, ECN reductions, flow counts per congestion-control variant,
+// and a histogram of congestion-window samples (one observation per window
+// update, via the sender's OnStateChange hook).
+//
+// Construction with a nil registry returns nil, and every method is safe
+// on a nil receiver, so callers track senders unconditionally and pay one
+// nil check when metrics are disabled. Counter aggregation happens in a
+// snapshot-time collector; only the cwnd observation rides the hot path,
+// and only when telemetry is enabled.
+type Telemetry struct {
+	senders []*Sender
+	cwnd    *metrics.Histogram
+
+	segments, retransmits, timeouts, recoveries *metrics.Counter
+	acks, dupAcks, ecnReductions                *metrics.Counter
+	flows                                       *metrics.Counter
+	byVariant                                   map[Variant]*metrics.Counter
+	reg                                         *metrics.Registry
+}
+
+// NewTelemetry returns a sender aggregator publishing into reg, or nil if
+// reg is nil.
+func NewTelemetry(reg *metrics.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &Telemetry{
+		cwnd:          reg.Histogram("tcp.cwnd_segments", cwndBuckets),
+		segments:      reg.Counter("tcp.segments_sent"),
+		retransmits:   reg.Counter("tcp.retransmits"),
+		timeouts:      reg.Counter("tcp.timeouts"),
+		recoveries:    reg.Counter("tcp.fast_recoveries"),
+		acks:          reg.Counter("tcp.acks_received"),
+		dupAcks:       reg.Counter("tcp.dup_acks_received"),
+		ecnReductions: reg.Counter("tcp.ecn_reductions"),
+		flows:         reg.Counter("tcp.flows_tracked"),
+		byVariant:     map[Variant]*metrics.Counter{},
+		reg:           reg,
+	}
+	reg.OnCollect(t.collect)
+	return t
+}
+
+// Track adds a sender to the aggregate and samples its congestion window
+// on every window update. Chains with any OnStateChange hook already set.
+func (t *Telemetry) Track(s *Sender) {
+	if t == nil || s == nil {
+		return
+	}
+	t.senders = append(t.senders, s)
+	v := s.cfg.Variant
+	c, ok := t.byVariant[v]
+	if !ok {
+		c = t.reg.Counter("tcp.flows." + v.String())
+		t.byVariant[v] = c
+	}
+	c.Inc()
+	prev := s.OnStateChange
+	hist := t.cwnd
+	s.OnStateChange = func(now units.Time) {
+		hist.Observe(s.cwnd)
+		if prev != nil {
+			prev(now)
+		}
+	}
+}
+
+func (t *Telemetry) collect() {
+	var sum Stats
+	for _, s := range t.senders {
+		st := s.Stats()
+		sum.SegmentsSent += st.SegmentsSent
+		sum.Retransmits += st.Retransmits
+		sum.Timeouts += st.Timeouts
+		sum.FastRecoveries += st.FastRecoveries
+		sum.AcksReceived += st.AcksReceived
+		sum.DupAcksReceived += st.DupAcksReceived
+		sum.ECNReductions += st.ECNReductions
+	}
+	t.segments.Set(sum.SegmentsSent)
+	t.retransmits.Set(sum.Retransmits)
+	t.timeouts.Set(sum.Timeouts)
+	t.recoveries.Set(sum.FastRecoveries)
+	t.acks.Set(sum.AcksReceived)
+	t.dupAcks.Set(sum.DupAcksReceived)
+	t.ecnReductions.Set(sum.ECNReductions)
+	t.flows.Set(int64(len(t.senders)))
+}

@@ -115,6 +115,11 @@ type Dumbbell struct {
 	// statistics.
 	DropTail *queue.DropTail
 
+	// OnAddFlow, if set, observes every flow as AddFlow wires it. Telemetry
+	// uses it to track dynamically created short flows; it must only
+	// observe, never schedule events.
+	OnAddFlow func(*Flow)
+
 	stations []*Station
 	flows    []*Flow
 	nextNode packet.NodeID
@@ -206,6 +211,9 @@ func (d *Dumbbell) AddFlow(st *Station, spec tcp.Config) *Flow {
 
 	f := &Flow{ID: spec.Flow, Station: st, Sender: snd, Receiver: rcv}
 	d.flows = append(d.flows, f)
+	if d.OnAddFlow != nil {
+		d.OnAddFlow(f)
+	}
 	return f
 }
 

@@ -112,6 +112,11 @@ const (
 	Gigabyte          = 1000 * Megabyte
 )
 
+// DefaultSegment is the segment (packet) size every simulation and sizing
+// rule assumes when none is given: the paper's approximation of an
+// Internet MTU-sized packet, and the unit buffers are counted in.
+const DefaultSegment = 1000 * Byte
+
 // Bits returns the size in bits.
 func (b ByteSize) Bits() int64 { return int64(b) * 8 }
 

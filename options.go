@@ -1,0 +1,74 @@
+package bufsim
+
+import "bufsim/internal/metrics"
+
+// Registry collects simulator telemetry: counters, gauges and histograms
+// published by the scheduler, the bottleneck queue and the TCP senders.
+// Attach one to a run with WithMetrics, then Snapshot or WriteJSON it.
+// Telemetry only observes — a run produces bit-identical packets whether
+// or not a Registry is attached.
+type Registry = metrics.Registry
+
+// NewRegistry returns an empty telemetry registry for WithMetrics.
+func NewRegistry() *Registry { return metrics.New() }
+
+// Option adjusts a Simulate* run beyond what its configuration struct
+// carries. Options always win over the corresponding config field, so
+// callers can hold one base config and vary a switch per run:
+//
+//	bufsim.Simulate(cfg, bufsim.WithVariant(bufsim.Sack), bufsim.WithPacing(true))
+//
+// The zero set of options leaves the config untouched; existing callers
+// that pass only a config struct are unaffected.
+type Option func(*options)
+
+type options struct {
+	variant    *Variant
+	paced      *bool
+	delayedAck *bool
+	red        *bool
+	metrics    *Registry
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// WithVariant selects the TCP congestion-control flavour
+// (Reno, Tahoe, NewReno or Sack).
+func WithVariant(v Variant) Option {
+	return func(o *options) { o.variant = &v }
+}
+
+// WithPacing spreads each sender's transmissions across the RTT instead
+// of ACK-clocked back-to-back bursts.
+func WithPacing(on bool) Option {
+	return func(o *options) { o.paced = &on }
+}
+
+// WithDelayedACK acknowledges every second segment, as modern receivers
+// do, instead of every segment.
+func WithDelayedACK(on bool) Option {
+	return func(o *options) { o.delayedAck = &on }
+}
+
+// WithRED switches the bottleneck from drop-tail to Random Early
+// Detection. Only Simulate honours it; the short-flow, mix and trace
+// scenarios study drop-tail buffers.
+func WithRED(on bool) Option {
+	return func(o *options) { o.red = &on }
+}
+
+// WithMetrics attaches a telemetry registry to the run. After the run
+// returns, reg holds the scheduler, queue and TCP instruments
+// (reg.WriteJSON dumps them). Telemetry never perturbs the simulation:
+// the same seed yields identical packets with or without it.
+func WithMetrics(reg *Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
