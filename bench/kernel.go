@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+// kernelDescription names the kernel generation being measured; it is
+// recorded in BENCH_kernel.json so before/after blocks are labelled.
+const kernelDescription = "inlined 4-ary min-heap over pooled event slots, typed actor dispatch on hot paths"
+
+// kernelChurn drives the scheduler through n events with a rolling window
+// of 100 pending timers — the steady-state load a packet simulation
+// produces (every in-flight packet holds a pending transmit/propagate
+// event, every sender an RTO).
+func kernelChurn(n int) {
+	s := sim.NewScheduler()
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			s.After(10, tick)
+		}
+	}
+	for j := 0; j < 100 && j < n; j++ {
+		s.After(units.Duration(j), tick)
+	}
+	s.Run(units.Never - 1)
+}

@@ -30,21 +30,36 @@
 //     every figure and table; cmd/paperexp exposes them on the command
 //     line and bench_test.go regenerates them as Go benchmarks.
 //
-// Every Simulate* entry point accepts functional Options (WithVariant,
-// WithPacing, WithDelayedACK, WithRED, WithMetrics) that override the
+// Every Simulate* entry point accepts functional Options that override the
 // corresponding config fields, and every result implements the Result
-// interface (Table, WriteJSON). WithMetrics attaches a telemetry
+// interface (Table, WriteJSON). The options matrix:
+//
+//	option           Simulate  SimulateReplicated  SingleFlow  ShortFlows  Mix  Trace
+//	WithVariant         yes           yes             yes         yes      yes   yes
+//	WithPacing          yes           yes             yes         yes      yes   yes
+//	WithDelayedACK      yes           yes             yes         yes      yes   yes
+//	WithRED             yes           yes             yes         yes      yes   yes
+//	WithMetrics         yes           yes             yes         yes      yes   yes
+//	WithParallelism      -            yes              -           -        -     -
+//
+// WithRED switches the scenario's bottleneck queue from drop-tail to
+// Random Early Detection sized to the same buffer; scenarios whose buffer
+// is unlimited (BufferPackets 0 in ShortFlows/Trace) must set a positive
+// buffer to use it. WithParallelism only affects entry points that fan
+// out over multiple independent runs. WithMetrics attaches a telemetry
 // Registry; telemetry only observes — the same seed produces identical
 // packets with or without it.
 package bufsim
 
 import (
+	"fmt"
+	"io"
+
 	"bufsim/internal/experiment"
 	"bufsim/internal/model"
 	"bufsim/internal/tcp"
 	"bufsim/internal/units"
 	"bufsim/internal/workload"
-	"io"
 )
 
 // Variant selects the TCP congestion-control flavour for simulations.
@@ -57,6 +72,12 @@ const (
 	NewReno = tcp.NewReno
 	Sack    = tcp.Sack
 )
+
+// ParseVariant parses "reno", "tahoe", "newreno" or "sack"
+// (case-insensitive; empty parses as Reno). Variant also implements
+// encoding.TextMarshaler/TextUnmarshaler, so JSON configs can carry the
+// name directly.
+func ParseVariant(s string) (Variant, error) { return tcp.ParseVariant(s) }
 
 // Re-exported quantity types, so callers need no internal imports.
 type (
@@ -208,40 +229,75 @@ type SimulationResult struct {
 	Fairness float64
 }
 
+// Validate reports configuration errors before a run starts. Today the
+// one hard constraint is the RTT spread: per-flow RTTs are drawn from
+// [RTT-RTTSpread/2, RTT+RTTSpread/2], so a spread wider than twice the
+// mean RTT would make the minimum negative. Simulate panics with the same
+// message if handed an invalid config; call Validate first to get an
+// error instead.
+func (s Simulation) Validate() error {
+	return validateSpread(s.Link.RTT, s.RTTSpread)
+}
+
+// validateSpread rejects RTT spreads that would push the low end of the
+// per-flow RTT range to or below zero.
+func validateSpread(rtt Duration, spread Duration) error {
+	if spread < 0 {
+		return fmt.Errorf("bufsim: RTTSpread %v is negative", spread)
+	}
+	if spread >= 2*rtt {
+		return fmt.Errorf("bufsim: RTTSpread %v must be less than twice Link.RTT %v: the minimum per-flow RTT (RTT - RTTSpread/2 = %v) would not be positive", spread, rtt, rtt-spread/2)
+	}
+	return nil
+}
+
+// mustValidateSpread is the panic form used by the Simulate* entry points
+// (their signatures predate Validate and return no error).
+func mustValidateSpread(rtt Duration, spread Duration) {
+	if err := validateSpread(rtt, spread); err != nil {
+		panic(err.Error())
+	}
+}
+
+// longLived lowers the public config plus applied options into the
+// internal experiment config shared by Simulate and SimulateReplicated.
+func (s Simulation) longLived(o options) experiment.LongLivedConfig {
+	if o.variant != nil {
+		s.Variant = *o.variant
+	}
+	if o.paced != nil {
+		s.Paced = *o.paced
+	}
+	if o.delayedAck != nil {
+		s.DelayedAck = *o.delayedAck
+	}
+	if o.red != nil {
+		s.RED = *o.red
+	}
+	mustValidateSpread(s.Link.RTT, s.RTTSpread)
+	return experiment.LongLivedConfig{
+		Seed:           s.Seed,
+		N:              s.Flows,
+		BottleneckRate: s.Link.Rate,
+		RTTMin:         s.Link.RTT - s.RTTSpread/2,
+		RTTMax:         s.Link.RTT + s.RTTSpread/2,
+		SegmentSize:    s.Link.segment(),
+		BufferPackets:  s.BufferPackets,
+		UseRED:         s.RED,
+		Variant:        s.Variant,
+		Paced:          s.Paced,
+		DelayedAck:     s.DelayedAck,
+		Warmup:         s.Warmup,
+		Measure:        s.Measure,
+		Metrics:        o.metrics,
+	}
+}
+
 // Simulate runs the long-lived-flow scenario and reports utilization. It
 // is the programmatic version of "would this buffer keep my link busy?".
 func Simulate(cfg Simulation, opts ...Option) SimulationResult {
 	o := applyOptions(opts)
-	if o.variant != nil {
-		cfg.Variant = *o.variant
-	}
-	if o.paced != nil {
-		cfg.Paced = *o.paced
-	}
-	if o.delayedAck != nil {
-		cfg.DelayedAck = *o.delayedAck
-	}
-	if o.red != nil {
-		cfg.RED = *o.red
-	}
-	rttMin := cfg.Link.RTT - cfg.RTTSpread/2
-	rttMax := cfg.Link.RTT + cfg.RTTSpread/2
-	r := experiment.RunLongLived(experiment.LongLivedConfig{
-		Seed:           cfg.Seed,
-		N:              cfg.Flows,
-		BottleneckRate: cfg.Link.Rate,
-		RTTMin:         rttMin,
-		RTTMax:         rttMax,
-		SegmentSize:    cfg.Link.segment(),
-		BufferPackets:  cfg.BufferPackets,
-		UseRED:         cfg.RED,
-		Variant:        cfg.Variant,
-		Paced:          cfg.Paced,
-		DelayedAck:     cfg.DelayedAck,
-		Warmup:         cfg.Warmup,
-		Measure:        cfg.Measure,
-		Metrics:        o.metrics,
-	})
+	r := experiment.RunLongLived(cfg.longLived(o))
 	return SimulationResult{
 		Utilization:        r.Utilization,
 		LossRate:           r.LossRate,
@@ -251,6 +307,36 @@ func Simulate(cfg Simulation, opts ...Option) SimulationResult {
 		QueueDelayMean:     r.QueueDelayMean,
 		QueueDelayP99:      r.QueueDelayP99,
 		Fairness:           r.Fairness,
+	}
+}
+
+// ReplicatedResult aggregates a Simulate scenario across independent
+// seeds: utilization statistics with the spread a single run cannot show.
+type ReplicatedResult struct {
+	Replicas        int
+	MeanUtilization float64
+	StdDev          float64
+	Min, Max        float64
+}
+
+// SimulateReplicated runs the Simulate scenario under replicas different
+// seeds (cfg.Seed, cfg.Seed+1, ...) and reports utilization statistics —
+// the error bars the single-run entry point omits. Replicas run
+// concurrently; WithParallelism bounds the workers (default: the
+// machine's parallelism). Results are bit-identical at any worker count.
+func SimulateReplicated(cfg Simulation, replicas int, opts ...Option) ReplicatedResult {
+	o := applyOptions(opts)
+	run := cfg.longLived(o)
+	if o.parallelism != nil {
+		run.Parallelism = *o.parallelism
+	}
+	r := experiment.RunLongLivedReplicated(run, replicas)
+	return ReplicatedResult{
+		Replicas:        r.Replicas,
+		MeanUtilization: r.MeanUtilization,
+		StdDev:          r.StdDev,
+		Min:             r.Min,
+		Max:             r.Max,
 	}
 }
 
@@ -274,6 +360,7 @@ type SingleFlowResult struct {
 func SimulateSingleFlow(link Link, bufferFactor float64, seed int64, opts ...Option) SingleFlowResult {
 	o := applyOptions(opts)
 	run := experiment.SingleFlowConfig{
+		Seed:           seed,
 		BottleneckRate: link.Rate,
 		RTT:            link.RTT,
 		SegmentSize:    link.segment(),
@@ -288,6 +375,9 @@ func SimulateSingleFlow(link Link, bufferFactor float64, seed int64, opts ...Opt
 	}
 	if o.delayedAck != nil {
 		run.DelayedAck = *o.delayedAck
+	}
+	if o.red != nil {
+		run.UseRED = *o.red
 	}
 	r := experiment.RunSingleFlow(run)
 	return SingleFlowResult{
@@ -313,6 +403,10 @@ type ShortFlowSimulation struct {
 	FlowLength    int64 // segments per flow
 	MaxWindow     int   // receiver window cap (default 43)
 
+	// RED switches the bottleneck to Random Early Detection sized to
+	// BufferPackets (which must then be positive).
+	RED bool
+
 	Warmup, Measure Duration
 }
 
@@ -336,6 +430,7 @@ func SimulateShortFlows(cfg ShortFlowSimulation, opts ...Option) ShortFlowResult
 		Load:          cfg.Load,
 		FlowLength:    cfg.FlowLength,
 		MaxWindow:     cfg.MaxWindow,
+		UseRED:        cfg.RED,
 		Warmup:        cfg.Warmup,
 		Measure:       cfg.Measure,
 		Metrics:       o.metrics,
@@ -348,6 +443,9 @@ func SimulateShortFlows(cfg ShortFlowSimulation, opts ...Option) ShortFlowResult
 	}
 	if o.delayedAck != nil {
 		run.DelayedAck = *o.delayedAck
+	}
+	if o.red != nil {
+		run.UseRED = *o.red
 	}
 	afct, completed, censored := experiment.ShortFlowAFCT(run)
 	return ShortFlowResult{AFCT: afct, Completed: completed, Censored: censored}
@@ -366,6 +464,10 @@ type MixSimulation struct {
 	MaxWindow     int               // short flows' receiver cap (default 43)
 	BufferPackets int
 
+	// RED switches the bottleneck to Random Early Detection sized to
+	// BufferPackets.
+	RED bool
+
 	RTTSpread       Duration
 	Warmup, Measure Duration
 }
@@ -378,12 +480,19 @@ type MixResult struct {
 	MeanQueue       float64
 }
 
+// Validate reports configuration errors before a run starts; see
+// Simulation.Validate.
+func (s MixSimulation) Validate() error {
+	return validateSpread(s.Link.RTT, s.RTTSpread)
+}
+
 // SimulateMix runs the mixed long/short workload and reports the short
 // flows' completion time alongside link utilization — the trade Fig. 9
 // explores: smaller buffers keep utilization while completing short flows
 // faster.
 func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 	o := applyOptions(opts)
+	mustValidateSpread(cfg.Link.RTT, cfg.RTTSpread)
 	sizes := cfg.ShortSizes
 	if sizes == nil {
 		sizes = workload.GeometricSize(14)
@@ -399,6 +508,7 @@ func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 		SegmentSize:    cfg.Link.segment(),
 		MaxWindow:      cfg.MaxWindow,
 		BufferPackets:  cfg.BufferPackets,
+		UseRED:         cfg.RED,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Metrics:        o.metrics,
@@ -411,6 +521,9 @@ func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 	}
 	if o.delayedAck != nil {
 		run.DelayedAck = *o.delayedAck
+	}
+	if o.red != nil {
+		run.UseRED = *o.red
 	}
 	out := experiment.RunMixed(run)
 	return MixResult{
@@ -439,6 +552,10 @@ type TraceSimulation struct {
 	BufferPackets int // 0 = unlimited
 	MaxWindow     int
 	RTTSpread     Duration
+
+	// RED switches the bottleneck to Random Early Detection sized to
+	// BufferPackets (which must then be positive).
+	RED bool
 }
 
 // TraceResult summarizes a replayed trace.
@@ -449,11 +566,18 @@ type TraceResult struct {
 	Utilization float64
 }
 
+// Validate reports configuration errors before a run starts; see
+// Simulation.Validate.
+func (s TraceSimulation) Validate() error {
+	return validateSpread(s.Link.RTT, s.RTTSpread)
+}
+
 // SimulateTrace replays a recorded flow-level trace (instead of a
 // synthetic arrival process) and reports completion statistics — the
 // entry point for driving the simulator with real measurement data.
 func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
 	o := applyOptions(opts)
+	mustValidateSpread(cfg.Link.RTT, cfg.RTTSpread)
 	run := experiment.TraceConfig{
 		Seed:           cfg.Seed,
 		Flows:          cfg.Flows,
@@ -463,6 +587,7 @@ func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
 		SegmentSize:    cfg.Link.segment(),
 		MaxWindow:      cfg.MaxWindow,
 		BufferPackets:  cfg.BufferPackets,
+		UseRED:         cfg.RED,
 		Metrics:        o.metrics,
 	}
 	if o.variant != nil {
@@ -473,6 +598,9 @@ func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
 	}
 	if o.delayedAck != nil {
 		run.DelayedAck = *o.delayedAck
+	}
+	if o.red != nil {
+		run.UseRED = *o.red
 	}
 	r := experiment.RunTrace(run)
 	return TraceResult{

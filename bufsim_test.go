@@ -318,3 +318,119 @@ func TestResultInterface(t *testing.T) {
 		}
 	}
 }
+
+// TestWithREDHonoredEverywhere checks the option actually changes the
+// bottleneck in every scenario that has one: under RED the queue drops
+// early and at random, so the run must differ from its drop-tail twin.
+func TestWithREDHonoredEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs")
+	}
+	l := Link{Rate: 20 * Mbps, RTT: 100 * Millisecond}
+
+	t.Run("single flow", func(t *testing.T) {
+		plain := SimulateSingleFlow(l, 1.0, 3)
+		red := SimulateSingleFlow(l, 1.0, 3, WithRED(true))
+		if plain.MeanQueue == red.MeanQueue {
+			t.Error("WithRED did not change the single-flow queue process")
+		}
+	})
+	t.Run("short flows", func(t *testing.T) {
+		cfg := ShortFlowSimulation{
+			Seed: 3, Link: l, BufferPackets: 40, Load: 0.7, FlowLength: 14,
+			Warmup: 3 * Second, Measure: 8 * Second,
+		}
+		plain := SimulateShortFlows(cfg)
+		red := SimulateShortFlows(cfg, WithRED(true))
+		if plain == red {
+			t.Error("WithRED did not change the short-flow run")
+		}
+	})
+	t.Run("mix", func(t *testing.T) {
+		cfg := MixSimulation{
+			Seed: 3, Link: l, LongFlows: 20, ShortLoad: 0.1, BufferPackets: 40,
+			RTTSpread: 40 * Millisecond, Warmup: 5 * Second, Measure: 10 * Second,
+		}
+		plain := SimulateMix(cfg)
+		red := SimulateMix(cfg, WithRED(true))
+		if plain == red {
+			t.Error("WithRED did not change the mixed run")
+		}
+	})
+	t.Run("trace", func(t *testing.T) {
+		// Offer more than the line rate so the buffer actually fills.
+		var flows []TraceFlow
+		for i := 0; i < 300; i++ {
+			flows = append(flows, TraceFlow{Start: Time(i) * Time(20*Millisecond), Size: 60})
+		}
+		cfg := TraceSimulation{Seed: 3, Link: l, Flows: flows, BufferPackets: 20}
+		plain := SimulateTrace(cfg)
+		red := SimulateTrace(cfg, WithRED(true))
+		if plain == red {
+			t.Error("WithRED did not change the trace run")
+		}
+	})
+}
+
+func TestValidateRTTSpread(t *testing.T) {
+	l := Link{Rate: 10 * Mbps, RTT: 50 * Millisecond}
+	ok := Simulation{Link: l, RTTSpread: 80 * Millisecond}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := Simulation{Link: l, RTTSpread: 120 * Millisecond}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("spread wider than twice the RTT passed validation")
+	}
+	if !strings.Contains(err.Error(), "RTTSpread") {
+		t.Errorf("error does not name the bad field: %v", err)
+	}
+	if err := (Simulation{Link: l, RTTSpread: -Millisecond}).Validate(); err == nil {
+		t.Error("negative spread passed validation")
+	}
+	if err := (MixSimulation{Link: l, RTTSpread: 120 * Millisecond}).Validate(); err == nil {
+		t.Error("MixSimulation did not validate the spread")
+	}
+	if err := (TraceSimulation{Link: l, RTTSpread: 120 * Millisecond}).Validate(); err == nil {
+		t.Error("TraceSimulation did not validate the spread")
+	}
+	// Simulate panics with the same message instead of crashing deep in
+	// the topology layer.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Simulate with invalid spread did not panic")
+		}
+		if msg, okType := r.(string); !okType || !strings.Contains(msg, "RTTSpread") {
+			t.Errorf("panic message does not explain the problem: %v", r)
+		}
+	}()
+	Simulate(Simulation{Seed: 1, Link: l, Flows: 5, BufferPackets: 10,
+		RTTSpread: 120 * Millisecond, Warmup: Second, Measure: Second})
+}
+
+func TestSimulateReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs")
+	}
+	l := Link{Rate: 20 * Mbps, RTT: 100 * Millisecond}
+	cfg := Simulation{
+		Seed: 1, Link: l, Flows: 30, BufferPackets: l.SqrtRule(30),
+		RTTSpread: 80 * Millisecond, Warmup: 5 * Second, Measure: 10 * Second,
+	}
+	a := SimulateReplicated(cfg, 3, WithParallelism(1))
+	b := SimulateReplicated(cfg, 3, WithParallelism(3))
+	if a != b {
+		t.Errorf("replicated results differ across worker counts:\n%+v\n%+v", a, b)
+	}
+	if a.Replicas != 3 {
+		t.Errorf("Replicas = %d, want 3", a.Replicas)
+	}
+	if a.Min > a.MeanUtilization || a.MeanUtilization > a.Max {
+		t.Errorf("mean %v outside [min %v, max %v]", a.MeanUtilization, a.Min, a.Max)
+	}
+	if a.MeanUtilization < 0.7 || a.MeanUtilization > 1 {
+		t.Errorf("MeanUtilization = %v", a.MeanUtilization)
+	}
+}

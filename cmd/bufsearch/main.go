@@ -29,6 +29,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		warmStr   = flag.String("warmup", "15s", "simulated warmup to discard")
 		measStr   = flag.String("measure", "30s", "simulated measurement window")
+		replicas  = flag.Int("replicas", 0, "confirm the found minimum across this many extra seeds")
+		par       = flag.Int("parallel", 0, "max confirmation runs in flight (0: all CPUs)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,7 @@ func main() {
 		SegmentSize:    units.ByteSize(*segment),
 		Warmup:         warmup,
 		Measure:        measure,
+		Parallelism:    *par,
 	}
 
 	fmt.Printf("searching min buffer for %.1f%% utilization: %v, RTT %v, %d flows\n",
@@ -86,5 +89,13 @@ func main() {
 	fmt.Printf("utilization at minimum: %.2f%%\n", 100*util)
 	if min == hi {
 		fmt.Println("warning: target not reached within 2x rule-of-thumb; reporting the bound")
+	}
+
+	if *replicas > 1 {
+		confirm := cfg
+		confirm.BufferPackets = min
+		rep := experiment.RunLongLivedReplicated(confirm, *replicas)
+		fmt.Printf("across %d seeds: utilization %.2f%% +- %.2f%% (min %.2f%%, max %.2f%%)\n",
+			rep.Replicas, 100*rep.MeanUtilization, 100*rep.StdDev, 100*rep.Min, 100*rep.Max)
 	}
 }

@@ -91,18 +91,9 @@ func main() {
 		log.Fatal("-flows must be positive")
 	}
 
-	var v bufsim.Variant
-	switch *variant {
-	case "reno":
-		v = bufsim.Reno
-	case "newreno":
-		v = bufsim.NewReno
-	case "sack":
-		v = bufsim.Sack
-	case "tahoe":
-		v = bufsim.Tahoe
-	default:
-		log.Fatalf("unknown -variant %q", *variant)
+	v, err := bufsim.ParseVariant(*variant)
+	if err != nil {
+		log.Fatalf("-variant: %v", err)
 	}
 
 	link := bufsim.Link{Rate: rate, RTT: rtt, SegmentSize: bufsim.ByteSize(*segment)}

@@ -89,18 +89,9 @@ func loadScenario(path string) (bufsim.Simulation, bufsim.Link, error) {
 		return zero, bufsim.Link{}, fmt.Errorf("%s: field \"flows\" must be positive", path)
 	}
 
-	var variant bufsim.Variant
-	switch sf.Variant {
-	case "", "reno":
-		variant = bufsim.Reno
-	case "tahoe":
-		variant = bufsim.Tahoe
-	case "newreno":
-		variant = bufsim.NewReno
-	case "sack":
-		variant = bufsim.Sack
-	default:
-		return zero, bufsim.Link{}, fmt.Errorf("%s: unknown variant %q", path, sf.Variant)
+	variant, err := bufsim.ParseVariant(sf.Variant)
+	if err != nil {
+		return zero, bufsim.Link{}, fmt.Errorf("%s: %v", path, err)
 	}
 
 	link := bufsim.Link{Rate: rate, RTT: rtt, SegmentSize: bufsim.ByteSize(sf.Segment)}

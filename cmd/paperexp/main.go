@@ -62,6 +62,7 @@ func main() {
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into (optional)")
 		metOut  = flag.String("metrics", "", "write run telemetry to this JSON file")
 		cpuprof = flag.String("pprof", "", "write a CPU profile to this file")
+		par     = flag.Int("parallel", 0, "max simulations in flight per sweep (0: all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir}
+	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par}
 	if *metOut != "" {
 		r.metrics = metrics.New()
 	}
@@ -111,11 +112,12 @@ func main() {
 }
 
 type runner struct {
-	quick   bool
-	seed    int64
-	csvDir  string
-	svgDir  string
-	metrics *metrics.Registry
+	quick    bool
+	seed     int64
+	csvDir   string
+	svgDir   string
+	parallel int // worker bound for the sweeping experiments; 0 = all CPUs
+	metrics  *metrics.Registry
 }
 
 // child returns a fresh registry for one experiment's telemetry when
@@ -285,7 +287,7 @@ func (r runner) windowDist() error {
 }
 
 func (r runner) minBuffer() error {
-	cfg := experiment.MinBufferConfig{Seed: r.seed}
+	cfg := experiment.MinBufferConfig{Seed: r.seed, Parallelism: r.parallel}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{25, 50, 100, 200}
@@ -340,7 +342,7 @@ func (r runner) minBuffer() error {
 }
 
 func (r runner) shortFlows() error {
-	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child()}
+	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel}
 	if r.quick {
 		cfg.Rates = []units.BitRate{20 * units.Mbps, 60 * units.Mbps}
 		cfg.Warmup, cfg.Measure = 5*units.Second, 15*units.Second
@@ -401,7 +403,7 @@ func (r runner) afct(sizes workload.SizeDist, name string) error {
 }
 
 func (r runner) table(red bool) error {
-	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child()}
+	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child(), Parallelism: r.parallel}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{50, 100}
@@ -509,7 +511,7 @@ func (r runner) harpoon() error {
 }
 
 func (r runner) codel() error {
-	cfg := experiment.CoDelConfig{Seed: r.seed}
+	cfg := experiment.CoDelConfig{Seed: r.seed, Parallelism: r.parallel}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -520,7 +522,7 @@ func (r runner) codel() error {
 }
 
 func (r runner) rttSpread() error {
-	cfg := experiment.RTTSpreadConfig{Seed: r.seed}
+	cfg := experiment.RTTSpreadConfig{Seed: r.seed, Parallelism: r.parallel}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps

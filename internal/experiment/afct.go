@@ -33,6 +33,9 @@ type AFCTComparisonConfig struct {
 	Variant    tcp.Variant
 	DelayedAck bool
 	Paced      bool
+	// UseRED switches each regime's bottleneck to RED sized to that
+	// regime's buffer.
+	UseRED bool
 
 	Warmup, Measure units.Duration
 
@@ -111,6 +114,8 @@ type MixedConfig struct {
 	Variant    tcp.Variant
 	DelayedAck bool
 	Paced      bool
+	// UseRED switches the bottleneck to RED sized to BufferPackets.
+	UseRED bool
 
 	Warmup, Measure units.Duration
 
@@ -135,6 +140,7 @@ func RunMixed(cfg MixedConfig) AFCTOutcome {
 		Variant:         cfg.Variant,
 		DelayedAck:      cfg.DelayedAck,
 		Paced:           cfg.Paced,
+		UseRED:          cfg.UseRED,
 		Warmup:          cfg.Warmup,
 		Measure:         cfg.Measure,
 	}.withDefaults()
@@ -171,6 +177,9 @@ type TraceConfig struct {
 	Variant    tcp.Variant
 	DelayedAck bool
 	Paced      bool
+	// UseRED switches the bottleneck to RED sized to BufferPackets
+	// (which must then be positive).
+	UseRED bool
 
 	// Drain bounds how long after the last arrival the simulation keeps
 	// running for stragglers (default 60 s).
@@ -219,7 +228,7 @@ func RunTrace(cfg TraceConfig) TraceResult {
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
-	d := topology.NewDumbbell(topology.Config{
+	topoCfg := topology.Config{
 		Sched:           sched,
 		RNG:             rng.Fork(),
 		BottleneckRate:  cfg.BottleneckRate,
@@ -228,7 +237,11 @@ func RunTrace(cfg TraceConfig) TraceResult {
 		Stations:        cfg.Stations,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
-	})
+	}
+	if cfg.UseRED {
+		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), false)
+	}
+	d := topology.NewDumbbell(topoCfg)
 	instrumentDumbbell(cfg.Metrics, sched, d)
 	records := workload.Replay(d, cfg.Flows, tcp.Config{
 		SegmentSize: cfg.SegmentSize,
@@ -269,7 +282,7 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metri
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
-	d := topology.NewDumbbell(topology.Config{
+	topoCfg := topology.Config{
 		Sched:           sched,
 		RNG:             rng.Fork(),
 		BottleneckRate:  cfg.BottleneckRate,
@@ -278,7 +291,11 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metri
 		Stations:        cfg.NLong + 50,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
-	})
+	}
+	if cfg.UseRED {
+		topoCfg.NewQueue = redQueueHook(buffer, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), false)
+	}
+	d := topology.NewDumbbell(topoCfg)
 	instrumentDumbbell(reg, sched, d)
 	workload.StartLongLived(d, cfg.NLong,
 		tcp.Config{

@@ -26,6 +26,10 @@ type CoDelConfig struct {
 	SegmentSize    units.ByteSize
 
 	Warmup, Measure units.Duration
+
+	// Parallelism bounds how many designs simulate at once; 0 means the
+	// machine's parallelism.
+	Parallelism int
 }
 
 func (c CoDelConfig) withDefaults() CoDelConfig {
@@ -76,7 +80,7 @@ func RunCoDel(cfg CoDelConfig) CoDelTable {
 		{"codel (RTTxC capacity)", int(math.Max(1, float64(bdp))), true},
 	}
 	rows := make([]CoDelRow, len(designs))
-	parallelFor(len(designs), func(i int) {
+	parallelFor(cfg.Parallelism, len(designs), func(i int) {
 		run := base
 		run.BufferPackets = designs[i].buffer
 		run.UseCoDel = designs[i].codel

@@ -62,6 +62,11 @@ type LongLivedConfig struct {
 	// bottleneck queue and link, TCP aggregates). Telemetry only observes:
 	// the packet trace is identical with Metrics nil or set.
 	Metrics *metrics.Registry
+
+	// Parallelism bounds worker goroutines when this config drives a
+	// multi-run driver (RunLongLivedReplicated); 0 means the machine's
+	// parallelism. A single RunLongLived is always one goroutine.
+	Parallelism int
 }
 
 func (c LongLivedConfig) withDefaults() LongLivedConfig {
@@ -114,6 +119,23 @@ type LongLivedResult struct {
 	Fairness float64
 }
 
+// redQueueHook returns a topology.Config.NewQueue constructor building a
+// RED bottleneck with conventional thresholds scaled to bufferPkts (and
+// optional ECN marking), drawing its drop randomness from redRNG. Every
+// scenario that honours UseRED goes through this one helper so RED means
+// the same thing everywhere.
+func redQueueHook(bufferPkts int, segment units.ByteSize, rate units.BitRate, redRNG *sim.RNG, ecn bool) func() queue.Queue {
+	if bufferPkts <= 0 {
+		panic("experiment: UseRED requires BufferPackets > 0 (RED thresholds scale with the physical buffer)")
+	}
+	meanPkt := units.TransmissionTime(segment, rate)
+	return func() queue.Queue {
+		redCfg := queue.DefaultRED(bufferPkts, meanPkt, redRNG.Float64)
+		redCfg.MarkECN = ecn
+		return queue.NewRED(redCfg)
+	}
+}
+
 // RunLongLived executes one long-lived-flow scenario.
 func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 	cfg = cfg.withDefaults()
@@ -143,13 +165,7 @@ func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 		}
 	}
 	if cfg.UseRED {
-		redRNG := rng.Fork()
-		meanPkt := units.TransmissionTime(cfg.SegmentSize, cfg.BottleneckRate)
-		topoCfg.NewQueue = func() queue.Queue {
-			redCfg := queue.DefaultRED(cfg.BufferPackets, meanPkt, redRNG.Float64)
-			redCfg.MarkECN = cfg.ECN
-			return queue.NewRED(redCfg)
-		}
+		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), cfg.ECN)
 	}
 	d := topology.NewDumbbell(topoCfg)
 	instrumentDumbbell(cfg.Metrics, sched, d)
@@ -265,7 +281,7 @@ func RunLongLivedReplicated(cfg LongLivedConfig, k int) ReplicatedResult {
 		panic(fmt.Sprintf("experiment: replicas = %d", k))
 	}
 	utils := make([]float64, k)
-	parallelFor(k, func(i int) {
+	parallelFor(cfg.Parallelism, k, func(i int) {
 		run := cfg
 		run.Seed = cfg.Seed + int64(i)
 		utils[i] = RunLongLived(run).Utilization

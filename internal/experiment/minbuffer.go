@@ -26,6 +26,10 @@ type MinBufferConfig struct {
 	LadderPoints int
 
 	Warmup, Measure units.Duration
+
+	// Parallelism bounds how many ladder probes simulate at once; 0 means
+	// the machine's parallelism.
+	Parallelism int
 }
 
 func (c MinBufferConfig) withDefaults() MinBufferConfig {
@@ -104,7 +108,7 @@ func RunMinBufferSweep(cfg MinBufferConfig) MinBufferResult {
 		ladder := bufferLadder(sqrtRule, cfg.LadderPoints)
 		utils := make([]float64, len(ladder))
 		n := n
-		parallelFor(len(ladder), func(i int) {
+		parallelFor(cfg.Parallelism, len(ladder), func(i int) {
 			r := RunLongLived(LongLivedConfig{
 				Seed:            cfg.Seed + int64(n)*1000 + int64(i),
 				N:               n,

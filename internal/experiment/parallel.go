@@ -5,20 +5,20 @@ import (
 	"sync"
 )
 
-// Concurrency bounds how many independent simulations the sweep drivers
-// run at once. Each simulation owns its scheduler and RNG streams, so
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
+// waits for all of them. workers <= 0 means the machine's parallelism
+// (GOMAXPROCS). Each simulation owns its scheduler and RNG streams, so
 // runs are isolated and results are bit-identical regardless of worker
-// count or completion order; only wall-clock time changes. Defaults to
-// the machine's parallelism.
-var Concurrency = runtime.GOMAXPROCS(0)
-
-// parallelFor runs fn(i) for i in [0, n) on up to Concurrency workers and
-// waits for all of them. fn must write its result to its own index of a
-// pre-sized slice (or otherwise avoid shared mutable state).
-func parallelFor(n int, fn func(i int)) {
-	workers := Concurrency
-	if workers < 1 {
-		workers = 1
+// count or completion order; only wall-clock time changes. fn must write
+// its result to its own index of a pre-sized slice (or otherwise avoid
+// shared mutable state).
+//
+// The worker count comes from the sweep config's Parallelism field — there
+// is deliberately no package-level knob, so concurrent sweeps with
+// different settings cannot race on shared state.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n

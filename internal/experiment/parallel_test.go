@@ -11,12 +11,9 @@ import (
 )
 
 func TestParallelForCoversAllIndices(t *testing.T) {
-	old := Concurrency
-	defer func() { Concurrency = old }()
-	for _, workers := range []int{0, 1, 4, 100} {
-		Concurrency = workers
+	for _, workers := range []int{-1, 0, 1, 4, 100} {
 		var hits [57]int32
-		parallelFor(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		parallelFor(workers, len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
@@ -24,15 +21,13 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 		}
 	}
 	// n = 0 must be a no-op.
-	parallelFor(0, func(int) { t.Fatal("fn called for n=0") })
+	parallelFor(4, 0, func(int) { t.Fatal("fn called for n=0") })
 }
 
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paired sweeps")
 	}
-	old := Concurrency
-	defer func() { Concurrency = old }()
 	cfg := UtilizationTableConfig{
 		Seed:           5,
 		BottleneckRate: 10 * units.Mbps,
@@ -41,9 +36,9 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		Warmup:         5 * units.Second,
 		Measure:        8 * units.Second,
 	}
-	Concurrency = 1
+	cfg.Parallelism = 1
 	seq := RunUtilizationTable(cfg)
-	Concurrency = 8
+	cfg.Parallelism = 8
 	par := RunUtilizationTable(cfg)
 	if len(seq) != len(par) {
 		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
@@ -80,8 +75,6 @@ func TestSweepDeterministicWithMetrics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paired sweeps")
 	}
-	old := Concurrency
-	defer func() { Concurrency = old }()
 	cfg := UtilizationTableConfig{
 		Seed:           5,
 		BottleneckRate: 10 * units.Mbps,
@@ -90,17 +83,17 @@ func TestSweepDeterministicWithMetrics(t *testing.T) {
 		Warmup:         5 * units.Second,
 		Measure:        8 * units.Second,
 	}
-	Concurrency = 4
+	cfg.Parallelism = 4
 	plain := RunUtilizationTable(cfg)
 
 	withMetrics := cfg
 	withMetrics.Metrics = metrics.New()
-	Concurrency = 1
+	withMetrics.Parallelism = 1
 	seq := RunUtilizationTable(withMetrics)
 	seqJSON := stableMetricsJSON(t, withMetrics.Metrics)
 
 	withMetrics.Metrics = metrics.New()
-	Concurrency = 8
+	withMetrics.Parallelism = 8
 	par := RunUtilizationTable(withMetrics)
 	parJSON := stableMetricsJSON(t, withMetrics.Metrics)
 

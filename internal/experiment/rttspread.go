@@ -24,6 +24,10 @@ type RTTSpreadConfig struct {
 	BufferFactor   float64
 
 	Warmup, Measure units.Duration
+
+	// Parallelism bounds how many spreads simulate at once; 0 means the
+	// machine's parallelism.
+	Parallelism int
 }
 
 func (c RTTSpreadConfig) withDefaults() RTTSpreadConfig {
@@ -66,7 +70,7 @@ func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 	buffer := int(math.Max(1, cfg.BufferFactor*float64(SqrtRuleBuffer(bdp, cfg.N))))
 
 	out := make([]RTTSpreadPoint, len(cfg.Spreads))
-	parallelFor(len(cfg.Spreads), func(i int) {
+	parallelFor(cfg.Parallelism, len(cfg.Spreads), func(i int) {
 		spread := cfg.Spreads[i]
 		// RunWindowDist gives both the utilization inputs and the
 		// aggregate-window moments; rebuild its scenario with this

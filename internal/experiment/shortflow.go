@@ -45,6 +45,10 @@ type ShortFlowBufferConfig struct {
 	// separate from the searched runs, so the reported points are identical
 	// with Metrics nil or set.
 	Metrics *metrics.Registry
+
+	// Parallelism bounds how many (rate, length) points simulate at once;
+	// 0 means the machine's parallelism.
+	Parallelism int
 }
 
 func (c ShortFlowBufferConfig) withDefaults() ShortFlowBufferConfig {
@@ -122,6 +126,9 @@ type ShortFlowRunConfig struct {
 	Variant    tcp.Variant
 	DelayedAck bool
 	Paced      bool
+	// UseRED switches the bottleneck to RED sized to BufferPackets
+	// (which must then be positive — RED thresholds need a capacity).
+	UseRED bool
 
 	Warmup, Measure units.Duration
 
@@ -165,7 +172,7 @@ func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 	if cfg.BufferPackets > 0 {
 		limit = queue.PacketLimit(cfg.BufferPackets)
 	}
-	d := topology.NewDumbbell(topology.Config{
+	topoCfg := topology.Config{
 		Sched:           sched,
 		RNG:             rng.Fork(),
 		BottleneckRate:  cfg.Rate,
@@ -174,7 +181,11 @@ func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 		Stations:        cfg.Stations,
 		RTTMin:          cfg.MeanRTT * 6 / 10,
 		RTTMax:          cfg.MeanRTT * 14 / 10,
-	})
+	}
+	if cfg.UseRED {
+		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.Rate, rng.Fork(), false)
+	}
+	d := topology.NewDumbbell(topoCfg)
 	instrumentDumbbell(cfg.Metrics, sched, d)
 	gen := workload.NewShortFlows(workload.ShortFlowConfig{
 		Dumbbell: d,
@@ -238,7 +249,7 @@ func RunShortFlowBuffer(cfg ShortFlowBufferConfig) ShortFlowBufferTable {
 		}
 	}
 	out := make([]ShortFlowBufferPoint, len(tasks))
-	parallelFor(len(tasks), func(k int) {
+	parallelFor(cfg.Parallelism, len(tasks), func(k int) {
 		rate, flowLen := tasks[k].rate, tasks[k].flowLen
 		moments := model.MomentsForFlowLength(flowLen, 2, cfg.MaxWindow)
 		modelBuf := moments.MinBuffer(cfg.Load, cfg.ModelDropProb)

@@ -16,6 +16,11 @@ import (
 // flow through a bottleneck whose buffer is a multiple of the
 // bandwidth-delay product.
 type SingleFlowConfig struct {
+	// Seed feeds the randomized queue discipline when UseRED is set; a
+	// plain drop-tail single-flow run is fully deterministic and ignores
+	// it.
+	Seed int64
+
 	BottleneckRate units.BitRate
 	RTT            units.Duration // two-way propagation (2*Tp)
 	SegmentSize    units.ByteSize
@@ -33,6 +38,9 @@ type SingleFlowConfig struct {
 	Variant    tcp.Variant
 	DelayedAck bool
 	Paced      bool
+	// UseRED switches the bottleneck to Random Early Detection sized to
+	// the same buffer — the sawtooth under early, randomized drops.
+	UseRED bool
 
 	// Metrics, when non-nil, receives the run's telemetry (see
 	// LongLivedConfig.Metrics).
@@ -90,7 +98,7 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 		buffer = 1
 	}
 
-	d := topology.NewDumbbell(topology.Config{
+	topoCfg := topology.Config{
 		Sched:           sched,
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: cfg.RTT / 4,
@@ -98,7 +106,11 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 		Stations:        1,
 		RTTMin:          cfg.RTT,
 		RTTMax:          cfg.RTT,
-	})
+	}
+	if cfg.UseRED {
+		topoCfg.NewQueue = redQueueHook(buffer, cfg.SegmentSize, cfg.BottleneckRate, sim.NewRNG(cfg.Seed).Fork(), false)
+	}
+	d := topology.NewDumbbell(topoCfg)
 	instrumentDumbbell(cfg.Metrics, sched, d)
 	f := d.AddFlow(d.Station(0), tcp.Config{
 		SegmentSize: cfg.SegmentSize,

@@ -33,12 +33,16 @@ type UtilizationTableConfig struct {
 
 	UseRED bool // ablation: run the same table under RED
 
+	// Parallelism bounds how many cells simulate at once; 0 means the
+	// machine's parallelism. Results are identical at any setting.
+	Parallelism int
+
 	Warmup, Measure units.Duration
 
 	// Metrics, when non-nil, receives per-cell telemetry: each (n, factor)
 	// cell runs with its own child registry, merged in deterministic cell
 	// order under an "n=...,factor=..." prefix once the sweep finishes.
-	// Rows are byte-identical with Metrics nil or set, at any Concurrency.
+	// Rows are byte-identical with Metrics nil or set, at any Parallelism.
 	Metrics *metrics.Registry
 }
 
@@ -106,7 +110,7 @@ func RunUtilizationTable(cfg UtilizationTableConfig) UtilizationTable {
 			cellRegs[k] = metrics.New()
 		}
 	}
-	parallelFor(len(cells), func(k int) {
+	parallelFor(cfg.Parallelism, len(cells), func(k int) {
 		n := cfg.Ns[cells[k].n]
 		factor := cfg.Factors[cells[k].factorIdx]
 		gauss := model.LongFlowGaussian{N: n, BDP: float64(bdp)}

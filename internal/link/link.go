@@ -41,6 +41,27 @@ type Link struct {
 	OnDrop func(p *packet.Packet)
 }
 
+// Link event opcodes (see sim.Actor).
+const (
+	// opTxDone: the last bit of the packet left the transmitter.
+	opTxDone int32 = iota
+	// opArrive: the packet finished propagating and reaches dst.
+	opArrive
+)
+
+// OnEvent implements sim.Actor: transmit-completion and propagation
+// events carry the packet as their typed payload, so the per-packet path
+// through a link allocates no closures.
+func (l *Link) OnEvent(op int32, arg any) {
+	p := arg.(*packet.Packet)
+	switch op {
+	case opTxDone:
+		l.finishTransmit(p)
+	case opArrive:
+		l.dst.Handle(p)
+	}
+}
+
 // New returns a link transmitting at rate with one-way propagation delay d,
 // buffered by q, delivering to dst.
 func New(name string, sched *sim.Scheduler, rate units.BitRate, d units.Duration, q queue.Queue, dst packet.Handler) *Link {
@@ -99,7 +120,7 @@ func (l *Link) startNext() {
 	l.busy = true
 	l.busySince = now
 	tx := units.TransmissionTime(p.Size, l.rate)
-	l.sched.After(tx, func() { l.finishTransmit(p) })
+	l.sched.PostAfter(tx, l, opTxDone, p)
 }
 
 // finishTransmit fires when the last bit of p leaves the transmitter: the
@@ -115,7 +136,7 @@ func (l *Link) finishTransmit(p *packet.Packet) {
 	if l.delay == 0 {
 		l.dst.Handle(p)
 	} else {
-		l.sched.After(l.delay, func() { l.dst.Handle(p) })
+		l.sched.PostAfter(l.delay, l, opArrive, p)
 	}
 	if l.q.Len() > 0 {
 		l.startNext()

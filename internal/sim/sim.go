@@ -1,65 +1,86 @@
 // Package sim implements the discrete-event simulation kernel that drives
-// everything else: a clock, a pending-event heap, and cancellable timers.
+// everything else: a clock, a pending-event priority queue, and
+// cancellable timers.
 //
 // The kernel is deliberately single-threaded. Determinism matters more for
 // a reproduction study than parallel speed: two runs with the same seed
 // must schedule, drop and acknowledge exactly the same packets. Events at
 // the same instant fire in the order they were scheduled (stable FIFO
 // tie-break by sequence number).
+//
+// # Throughput design
+//
+// Sweeping the paper's figures means hundreds of packet-level runs, so the
+// kernel is built to schedule and fire tens of millions of events per
+// second without allocating on the hot path:
+//
+//   - Events live in a pooled slot array, recycled through a free list.
+//     Handles (Event) carry a generation counter, so Cancel on a handle
+//     whose slot has been recycled is a safe no-op rather than a
+//     use-after-free.
+//   - The pending queue is a concrete 4-ary min-heap of inline
+//     {time, seq, slot} entries — no interface boxing, no per-node heap
+//     allocation, and a shallower tree with better cache locality than
+//     container/heap's pointer-based binary heap.
+//   - Hot callers schedule typed events (an Actor owner, an opcode, and a
+//     pointer-shaped argument) via PostAt/PostAfter instead of closures,
+//     so steady-state simulation allocates nothing per event. The
+//     closure-based At/After remain for cold paths (experiment setup,
+//     sampling) where convenience beats the one closure allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"bufsim/internal/metrics"
 	"bufsim/internal/units"
 )
 
-// Event is a scheduled callback. The zero value is invalid; events are
-// created through Scheduler.At / Scheduler.After.
+// Actor receives typed events. Components on the per-packet path (TCP
+// senders and receivers, links, traffic generators) implement OnEvent and
+// schedule themselves with PostAt/PostAfter; op is an opcode private to
+// the actor and arg is the payload it passed when scheduling (typically a
+// *packet.Packet or nil — pointer-shaped values avoid boxing).
+type Actor interface {
+	OnEvent(op int32, arg any)
+}
+
+// Event is a handle to a scheduled event, issued by At/After and
+// PostAt/PostAfter. It is a small value, not a pointer: the event's
+// storage belongs to the scheduler's pool and is recycled after the event
+// fires or is cancelled. A stale handle (kept after its event fired) is
+// detected by generation counter, so Cancel and Active on it are safe.
+// The zero Event is a valid "no event" handle.
 type Event struct {
-	at    units.Time
-	seq   uint64
-	index int // position in the heap, -1 once fired or cancelled
+	id  int32  // slot index + 1; 0 is the zero handle
+	gen uint32 // slot generation this handle was issued for
+}
+
+// slot is the pooled storage behind one scheduled event.
+type slot struct {
+	gen   uint32 // incremented on every recycle; stale handles mismatch
+	pos   int32  // index in the heap while pending, -1 otherwise
+	op    int32
+	actor Actor
+	arg   any
 	fn    func()
 }
 
-// Time returns the instant at which the event (is|was) scheduled to fire.
-func (e *Event) Time() units.Time { return e.at }
+// entry is one pending-queue element. The ordering key (time, then
+// scheduling sequence for FIFO ties) is stored inline so heap sifts never
+// chase pointers.
+type entry struct {
+	at   units.Time
+	seq  uint64
+	slot int32
+}
 
-// Cancelled reports whether the event has already fired or been cancelled.
-func (e *Event) Cancelled() bool { return e.index < 0 }
-
-// eventHeap orders events by time, then by scheduling sequence so that
-// simultaneous events fire in FIFO order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires strictly before b.
+func before(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Scheduler is the simulation event loop. The zero value is not usable;
@@ -67,7 +88,9 @@ func (h *eventHeap) Pop() any {
 type Scheduler struct {
 	now        units.Time
 	seq        uint64
-	pending    eventHeap
+	heap       []entry
+	slots      []slot
+	free       []int32
 	maxPending int
 	stopped    bool
 
@@ -85,26 +108,221 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() units.Time { return s.now }
 
 // Pending returns the number of events waiting to fire.
-func (s *Scheduler) Pending() int { return len(s.pending) }
-
-// At schedules fn to run at the absolute time t. Scheduling in the past
-// panics: it always indicates a logic error in a component, and silently
-// reordering time would corrupt every downstream measurement.
-func (s *Scheduler) At(t units.Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.pending, e)
-	if len(s.pending) > s.maxPending {
-		s.maxPending = len(s.pending)
-	}
-	return e
-}
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // MaxPending returns the deepest the event heap has been.
 func (s *Scheduler) MaxPending() int { return s.maxPending }
+
+// Active reports whether e refers to an event that is still pending: not
+// yet fired, not cancelled, and not a recycled slot now owned by some
+// later event. The zero Event is never active.
+func (s *Scheduler) Active(e Event) bool {
+	if e.id == 0 {
+		return false
+	}
+	sl := &s.slots[e.id-1]
+	return sl.gen == e.gen && sl.pos >= 0
+}
+
+// EventTime returns the instant a pending event is scheduled to fire, and
+// whether the handle is still active.
+func (s *Scheduler) EventTime(e Event) (units.Time, bool) {
+	if !s.Active(e) {
+		return 0, false
+	}
+	return s.heap[s.slots[e.id-1].pos].at, true
+}
+
+// allocSlot takes a slot from the free list, growing the pool on demand.
+func (s *Scheduler) allocSlot() int32 {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	s.slots = append(s.slots, slot{})
+	return int32(len(s.slots) - 1)
+}
+
+// release recycles a slot: the generation bump invalidates every
+// outstanding handle, and clearing the references lets fired payloads be
+// collected.
+func (s *Scheduler) release(id int32) {
+	sl := &s.slots[id]
+	sl.gen++
+	sl.pos = -1
+	sl.actor = nil
+	sl.arg = nil
+	sl.fn = nil
+	s.free = append(s.free, id)
+}
+
+// schedule is the shared path behind At/After/PostAt/PostAfter.
+// Scheduling in the past panics: it always indicates a logic error in a
+// component, and silently reordering time would corrupt every downstream
+// measurement.
+func (s *Scheduler) schedule(t units.Time, fn func(), a Actor, op int32, arg any) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	id := s.allocSlot()
+	sl := &s.slots[id]
+	sl.fn = fn
+	sl.actor = a
+	sl.op = op
+	sl.arg = arg
+	i := len(s.heap)
+	s.heap = append(s.heap, entry{at: t, seq: s.seq, slot: id})
+	s.seq++
+	s.siftUp(i)
+	if len(s.heap) > s.maxPending {
+		s.maxPending = len(s.heap)
+	}
+	return Event{id: id + 1, gen: sl.gen}
+}
+
+// At schedules fn to run at the absolute time t.
+func (s *Scheduler) At(t units.Time, fn func()) Event {
+	return s.schedule(t, fn, nil, 0, nil)
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d units.Duration, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.schedule(s.now.Add(d), fn, nil, 0, nil)
+}
+
+// PostAt schedules a typed event: at time t the kernel calls
+// a.OnEvent(op, arg). This is the allocation-free path hot components use
+// instead of closures.
+func (s *Scheduler) PostAt(t units.Time, a Actor, op int32, arg any) Event {
+	return s.schedule(t, nil, a, op, arg)
+}
+
+// PostAfter schedules a typed event d from now.
+func (s *Scheduler) PostAfter(d units.Duration, a Actor, op int32, arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.schedule(s.now.Add(d), nil, a, op, arg)
+}
+
+// Cancel removes a pending event. Cancelling the zero handle, an event
+// that already fired, one already cancelled, or a handle whose slot has
+// been recycled by a later event is a no-op, so callers can cancel
+// unconditionally.
+func (s *Scheduler) Cancel(e Event) {
+	if e.id == 0 {
+		return
+	}
+	id := e.id - 1
+	sl := &s.slots[id]
+	if sl.gen != e.gen || sl.pos < 0 {
+		return
+	}
+	s.removeAt(int(sl.pos))
+	s.release(id)
+}
+
+// Reschedule cancels e (if pending) and schedules fn at t, returning the
+// new event. It is the common pattern for retransmission timers.
+func (s *Scheduler) Reschedule(e Event, t units.Time, fn func()) Event {
+	s.Cancel(e)
+	return s.At(t, fn)
+}
+
+// removeAt deletes the heap entry at index i, restoring heap order.
+func (s *Scheduler) removeAt(i int) {
+	last := len(s.heap) - 1
+	if i == last {
+		s.heap = s.heap[:last]
+		return
+	}
+	moved := s.heap[last]
+	s.heap = s.heap[:last]
+	s.heap[i] = moved
+	s.slots[moved.slot].pos = int32(i)
+	if p := (i - 1) / 4; i > 0 && before(moved, s.heap[p]) {
+		s.siftUp(i)
+	} else {
+		s.siftDown(i)
+	}
+}
+
+// siftUp restores heap order from index i toward the root.
+func (s *Scheduler) siftUp(i int) {
+	e := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !before(e, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.slots[s.heap[i].slot].pos = int32(i)
+		i = p
+	}
+	s.heap[i] = e
+	s.slots[e.slot].pos = int32(i)
+}
+
+// siftDown restores heap order from index i toward the leaves.
+func (s *Scheduler) siftDown(i int) {
+	e := s.heap[i]
+	n := len(s.heap)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if before(s.heap[j], s.heap[m]) {
+				m = j
+			}
+		}
+		if !before(s.heap[m], e) {
+			break
+		}
+		s.heap[i] = s.heap[m]
+		s.slots[s.heap[i].slot].pos = int32(i)
+		i = m
+	}
+	s.heap[i] = e
+	s.slots[e.slot].pos = int32(i)
+}
+
+// fire pops the earliest event, advances the clock and dispatches it. The
+// slot is recycled before dispatch, so the handler is free to schedule
+// (possibly reusing the very slot that just fired).
+func (s *Scheduler) fire() {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	if last > 0 {
+		moved := s.heap[last]
+		s.heap = s.heap[:last]
+		s.heap[0] = moved
+		s.slots[moved.slot].pos = 0
+		s.siftDown(0)
+	} else {
+		s.heap = s.heap[:0]
+	}
+	sl := &s.slots[top.slot]
+	fn, actor, op, arg := sl.fn, sl.actor, sl.op, sl.arg
+	s.release(top.slot)
+	s.now = top.at
+	s.Processed++
+	if actor != nil {
+		actor.OnEvent(op, arg)
+	} else {
+		fn()
+	}
+}
 
 // Instrument registers the kernel's telemetry into reg: events processed,
 // current and peak heap depth, and the simulated clock. Values are
@@ -120,36 +338,10 @@ func (s *Scheduler) Instrument(reg *metrics.Registry) {
 	clock := reg.Gauge("sim.time_seconds")
 	reg.OnCollect(func() {
 		events.Set(int64(s.Processed))
-		depth.Set(float64(len(s.pending)))
+		depth.Set(float64(len(s.heap)))
 		depthMax.Set(float64(s.maxPending))
 		clock.Set(s.now.Seconds())
 	})
-}
-
-// After schedules fn to run d from now.
-func (s *Scheduler) After(d units.Duration, fn func()) *Event {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
-	}
-	return s.At(s.now.Add(d), fn)
-}
-
-// Cancel removes a pending event. Cancelling an event that already fired
-// or was already cancelled is a no-op, so callers can cancel
-// unconditionally.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
-		return
-	}
-	heap.Remove(&s.pending, e.index)
-	e.fn = nil
-}
-
-// Reschedule cancels e (if pending) and schedules fn at t, returning the
-// new event. It is the common pattern for retransmission timers.
-func (s *Scheduler) Reschedule(e *Event, t units.Time, fn func()) *Event {
-	s.Cancel(e)
-	return s.At(t, fn)
 }
 
 // Stop makes Run return after the event currently executing completes.
@@ -160,17 +352,11 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // the last event time if the queue drained first and that is earlier).
 func (s *Scheduler) Run(until units.Time) {
 	s.stopped = false
-	for len(s.pending) > 0 && !s.stopped {
-		next := s.pending[0]
-		if next.at > until {
+	for len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].at > until {
 			break
 		}
-		heap.Pop(&s.pending)
-		s.now = next.at
-		fn := next.fn
-		next.fn = nil
-		s.Processed++
-		fn()
+		s.fire()
 	}
 	if !s.stopped && s.now < until {
 		s.now = until
@@ -180,14 +366,9 @@ func (s *Scheduler) Run(until units.Time) {
 // Step executes exactly one event if any is pending and returns whether an
 // event was executed. Useful in tests.
 func (s *Scheduler) Step() bool {
-	if len(s.pending) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.pending).(*Event)
-	s.now = e.at
-	fn := e.fn
-	e.fn = nil
-	s.Processed++
-	fn()
+	s.fire()
 	return true
 }

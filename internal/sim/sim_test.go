@@ -60,18 +60,18 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Error("event does not report cancelled")
+	if s.Active(e) {
+		t.Error("cancelled event reports active")
 	}
-	// Double-cancel and cancel-nil must be safe.
+	// Double-cancel and cancelling the zero handle must be safe.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	s := NewScheduler()
 	var order []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.At(units.Time(i), func() { order = append(order, i) }))
@@ -191,11 +191,11 @@ func TestHeapPropertyRandomOrder(t *testing.T) {
 func TestEventAccessorsAndCounters(t *testing.T) {
 	s := NewScheduler()
 	e := s.At(25, func() {})
-	if e.Time() != 25 {
-		t.Errorf("Time = %v", e.Time())
+	if at, ok := s.EventTime(e); !ok || at != 25 {
+		t.Errorf("EventTime = %v, %v", at, ok)
 	}
-	if e.Cancelled() {
-		t.Error("pending event reports cancelled")
+	if !s.Active(e) {
+		t.Error("pending event reports inactive")
 	}
 	s.At(30, func() {})
 	if s.Pending() != 2 {
@@ -208,8 +208,11 @@ func TestEventAccessorsAndCounters(t *testing.T) {
 	if s.Processed != 2 {
 		t.Errorf("Processed = %d, want 2", s.Processed)
 	}
-	if !e.Cancelled() {
-		t.Error("fired event should report cancelled/done")
+	if s.Active(e) {
+		t.Error("fired event should report inactive")
+	}
+	if _, ok := s.EventTime(e); ok {
+		t.Error("EventTime on a fired event should report not-ok")
 	}
 }
 
@@ -383,4 +386,176 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	}
 	b.ResetTimer()
 	s.Run(units.Never - 1)
+}
+
+// testActor records typed dispatches for the pooled-event tests.
+type testActor struct {
+	ops  []int32
+	args []any
+}
+
+func (a *testActor) OnEvent(op int32, arg any) {
+	a.ops = append(a.ops, op)
+	a.args = append(a.args, arg)
+}
+
+func TestTypedDispatch(t *testing.T) {
+	s := NewScheduler()
+	a := &testActor{}
+	payload := &testActor{} // any pointer will do as a payload
+	s.PostAt(5, a, 7, payload)
+	s.PostAfter(10, a, 8, nil)
+	s.Run(100)
+	if len(a.ops) != 2 || a.ops[0] != 7 || a.ops[1] != 8 {
+		t.Fatalf("ops = %v, want [7 8]", a.ops)
+	}
+	if a.args[0] != payload || a.args[1] != nil {
+		t.Errorf("args = %v", a.args)
+	}
+}
+
+func TestCancelAfterFireIsStale(t *testing.T) {
+	// A handle whose event already fired must be inert: its slot may have
+	// been recycled for a different event, and Cancel must not kill that
+	// newer event.
+	s := NewScheduler()
+	e1 := s.At(10, func() {})
+	s.Run(20)
+	if s.Active(e1) {
+		t.Fatal("fired event still active")
+	}
+	// The freed slot is reused by the next schedule.
+	fired := false
+	e2 := s.At(30, func() { fired = true })
+	// Cancelling the stale handle must be a no-op even though e1 and e2
+	// likely share a slot (the generation differs).
+	s.Cancel(e1)
+	if !s.Active(e2) {
+		t.Fatal("cancelling a stale handle killed the recycled slot's event")
+	}
+	s.Run(40)
+	if !fired {
+		t.Error("recycled-slot event did not fire")
+	}
+}
+
+func TestRescheduleRecycledSlot(t *testing.T) {
+	// Reschedule with a stale handle must behave like a fresh schedule and
+	// must not disturb the event now occupying the recycled slot.
+	s := NewScheduler()
+	e1 := s.At(10, func() {})
+	s.Run(20)
+	survivor := false
+	e2 := s.At(50, func() { survivor = true })
+	moved := false
+	e3 := s.Reschedule(e1, 40, func() { moved = true })
+	if !s.Active(e2) || !s.Active(e3) {
+		t.Fatal("reschedule of stale handle disturbed live events")
+	}
+	s.Run(100)
+	if !survivor || !moved {
+		t.Errorf("survivor=%v moved=%v, want both true", survivor, moved)
+	}
+}
+
+func TestRescheduleActiveEventMoves(t *testing.T) {
+	s := NewScheduler()
+	var at units.Time
+	e := s.At(10, func() { at = s.Now() })
+	e2 := s.Reschedule(e, 30, func() { at = s.Now() })
+	if s.Active(e) {
+		t.Error("original handle still active after reschedule")
+	}
+	if !s.Active(e2) {
+		t.Error("rescheduled handle not active")
+	}
+	s.Run(100)
+	if at != 30 {
+		t.Errorf("rescheduled event fired at %v, want 30", at)
+	}
+}
+
+func TestSameInstantFIFOMixedKinds(t *testing.T) {
+	// Closure and typed events scheduled at the same instant must fire in
+	// scheduling order regardless of slot reuse underneath.
+	s := NewScheduler()
+	var order []int
+	a := &testActor{}
+	// Churn some slots first so the free list is non-trivial.
+	for i := 0; i < 5; i++ {
+		s.At(1, func() {})
+	}
+	s.Run(2)
+	s.At(10, func() { order = append(order, 0) })
+	s.PostAt(10, a, 0, nil)
+	s.At(10, func() { order = append(order, 2) })
+	s.PostAt(10, a, 1, nil)
+	s.At(10, func() { order = append(order, 4) })
+	s.Run(20)
+	if len(order) != 3 || order[0] != 0 || order[1] != 2 || order[2] != 4 {
+		t.Errorf("closure order = %v, want [0 2 4]", order)
+	}
+	if len(a.ops) != 2 || a.ops[0] != 0 || a.ops[1] != 1 {
+		t.Errorf("typed order = %v, want [0 1]", a.ops)
+	}
+}
+
+func TestSlotReuseAcrossManyCycles(t *testing.T) {
+	// Exercise alloc/release heavily: a single self-rescheduling typed
+	// event plus cancelled decoys should never confuse generations.
+	s := NewScheduler()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			decoy := s.After(5, func() { t.Error("decoy fired") })
+			s.After(1, tick)
+			s.Cancel(decoy)
+		}
+	}
+	s.After(1, tick)
+	s.Run(units.Never - 1)
+	if n != 1000 {
+		t.Errorf("ticks = %d, want 1000", n)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", s.Pending())
+	}
+}
+
+func TestMaxPendingTracksHighWater(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.At(units.Time(10+i), func() {})
+	}
+	s.Run(100)
+	if s.MaxPending() != 7 {
+		t.Errorf("MaxPending = %d, want 7", s.MaxPending())
+	}
+}
+
+func BenchmarkSchedulerChurnTyped(b *testing.B) {
+	// The same rolling-window churn as BenchmarkSchedulerChurn but through
+	// the typed zero-allocation path.
+	s := NewScheduler()
+	c := &churnActor{s: s, limit: b.N}
+	for j := 0; j < 100 && j < b.N; j++ {
+		s.PostAfter(units.Duration(j), c, 0, nil)
+	}
+	b.ResetTimer()
+	s.Run(units.Never - 1)
+}
+
+type churnActor struct {
+	s     *Scheduler
+	i     int
+	limit int
+}
+
+func (c *churnActor) OnEvent(int32, any) {
+	c.i++
+	if c.i < c.limit {
+		c.s.PostAfter(10, c, 0, nil)
+	}
 }

@@ -25,7 +25,7 @@ type Receiver struct {
 	ooo          map[int64]bool // out-of-order segments above nextExpected
 
 	unackedSegs int // in-order segments not yet acknowledged (delayed ACK)
-	delAck      *sim.Event
+	delAck      sim.Event
 
 	finished bool
 
@@ -50,6 +50,17 @@ type Receiver struct {
 
 	// OnComplete fires once when a finite flow's data has fully arrived.
 	OnComplete func(now units.Time)
+}
+
+// Receiver event opcodes (see sim.Actor).
+const opRecvDelAck int32 = 0
+
+// OnEvent implements sim.Actor: the delayed-ACK timer is a typed kernel
+// event.
+func (r *Receiver) OnEvent(op int32, _ any) {
+	if op == opRecvDelAck {
+		r.sendAck()
+	}
 }
 
 // NewReceiver returns a receiver sending ACKs to out.
@@ -125,8 +136,8 @@ func (r *Receiver) onInOrder() {
 		r.sendAck()
 		return
 	}
-	if r.delAck == nil || r.delAck.Cancelled() {
-		r.delAck = r.sched.After(delAckTimeout, r.sendAck)
+	if !r.sched.Active(r.delAck) {
+		r.delAck = r.sched.PostAfter(delAckTimeout, r, opRecvDelAck, nil)
 	}
 }
 

@@ -14,6 +14,7 @@ package tcp
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"bufsim/internal/packet"
 	"bufsim/internal/sim"
@@ -50,6 +51,45 @@ func (v Variant) String() string {
 	default:
 		return fmt.Sprintf("variant(%d)", int(v))
 	}
+}
+
+// ParseVariant parses a congestion-control name: "reno", "tahoe",
+// "newreno" or "sack" (case-insensitive). The empty string parses as
+// Reno, the zero value, so optional config fields round-trip.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(s) {
+	case "", "reno":
+		return Reno, nil
+	case "tahoe":
+		return Tahoe, nil
+	case "newreno":
+		return NewReno, nil
+	case "sack":
+		return Sack, nil
+	default:
+		return Reno, fmt.Errorf("tcp: unknown variant %q (want reno, tahoe, newreno or sack)", s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler, so a Variant renders as
+// its name in JSON scenario files rather than a bare integer.
+func (v Variant) MarshalText() ([]byte, error) {
+	switch v {
+	case Reno, Tahoe, NewReno, Sack:
+		return []byte(v.String()), nil
+	default:
+		return nil, fmt.Errorf("tcp: cannot marshal unknown variant %d", int(v))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseVariant.
+func (v *Variant) UnmarshalText(text []byte) error {
+	parsed, err := ParseVariant(string(text))
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
 }
 
 // Config parameterizes one flow's sender and receiver.
@@ -172,8 +212,8 @@ type Sender struct {
 	rttSeq       int64 // segment being timed; -1 if none
 	rttSentAt    units.Time
 
-	rtoTimer  *sim.Event
-	paceTimer *sim.Event
+	rtoTimer  sim.Event
+	paceTimer sim.Event
 	lastSend  units.Time
 
 	stats Stats
@@ -184,6 +224,23 @@ type Sender struct {
 	// OnStateChange, if set, observes every congestion-window update;
 	// the trace package uses it for the Fig. 2–6 window processes.
 	OnStateChange func(now units.Time)
+}
+
+// Sender event opcodes (see sim.Actor).
+const (
+	opSenderRTO int32 = iota
+	opSenderPace
+)
+
+// OnEvent implements sim.Actor: the sender's timers are typed kernel
+// events, so arming one allocates nothing.
+func (s *Sender) OnEvent(op int32, _ any) {
+	switch op {
+	case opSenderRTO:
+		s.onTimeout()
+	case opSenderPace:
+		s.paceFire()
+	}
 }
 
 // NewSender returns a sender writing packets to out.
@@ -283,7 +340,7 @@ func (s *Sender) paceInterval() units.Duration {
 // timer is left un-armed when the window is closed; the next ACK's
 // trySend re-arms it.
 func (s *Sender) schedulePaced() {
-	if s.paceTimer != nil && !s.paceTimer.Cancelled() {
+	if s.sched.Active(s.paceTimer) {
 		return
 	}
 	if !s.canSendNew() {
@@ -294,7 +351,7 @@ func (s *Sender) schedulePaced() {
 	if next < now {
 		next = now
 	}
-	s.paceTimer = s.sched.At(next, s.paceFire)
+	s.paceTimer = s.sched.PostAt(next, s, opSenderPace, nil)
 }
 
 func (s *Sender) paceFire() {
@@ -334,7 +391,7 @@ func (s *Sender) transmit(seq int64, isRetransmit bool) {
 		s.rttSeq = seq
 		s.rttSentAt = now
 	}
-	if s.rtoTimer == nil || s.rtoTimer.Cancelled() {
+	if !s.sched.Active(s.rtoTimer) {
 		s.armRTO()
 	}
 	s.lastSend = now
@@ -346,7 +403,7 @@ func (s *Sender) armRTO() {
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.rtoTimer = s.sched.After(d, s.onTimeout)
+	s.rtoTimer = s.sched.PostAfter(d, s, opSenderRTO, nil)
 }
 
 func (s *Sender) restartRTO() {

@@ -1,0 +1,70 @@
+package tcp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseVariant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Variant
+		ok   bool
+	}{
+		{"reno", Reno, true},
+		{"Reno", Reno, true},
+		{"", Reno, true},
+		{"tahoe", Tahoe, true},
+		{"newreno", NewReno, true},
+		{"NewReno", NewReno, true},
+		{"sack", Sack, true},
+		{"SACK", Sack, true},
+		{"cubic", Reno, false},
+		{"reno ", Reno, false},
+	}
+	for _, c := range cases {
+		got, err := ParseVariant(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseVariant(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseVariant(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVariantStringRoundTrip(t *testing.T) {
+	for _, v := range []Variant{Reno, Tahoe, NewReno, Sack} {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("round trip %v -> %q -> %v, %v", v, v.String(), got, err)
+		}
+	}
+}
+
+func TestVariantTextMarshalling(t *testing.T) {
+	type wire struct {
+		V Variant `json:"v"`
+	}
+	b, err := json.Marshal(wire{V: Sack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"v":"sack"}` {
+		t.Errorf("marshalled %s, want {\"v\":\"sack\"}", b)
+	}
+	var back wire
+	if err := json.Unmarshal([]byte(`{"v":"NewReno"}`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.V != NewReno {
+		t.Errorf("unmarshalled %v, want NewReno", back.V)
+	}
+	if err := json.Unmarshal([]byte(`{"v":"bbr"}`), &back); err == nil {
+		t.Error("unmarshalling an unknown variant did not error")
+	}
+	if _, err := Variant(99).MarshalText(); err == nil {
+		t.Error("marshalling an unknown variant did not error")
+	}
+}

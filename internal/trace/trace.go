@@ -206,18 +206,18 @@ func NewSampler(sched *sim.Scheduler, name string, period units.Duration, probe 
 		panic("trace: non-positive sampling period")
 	}
 	s := &Sampler{sched: sched, period: period, probe: probe, series: &Series{Name: name}}
-	s.tick()
+	s.sched.PostAfter(s.period, s, 0, nil)
 	return s
 }
 
-func (s *Sampler) tick() {
-	s.sched.After(s.period, func() {
-		if s.stop {
-			return
-		}
-		s.series.Add(s.sched.Now(), s.probe())
-		s.tick()
-	})
+// OnEvent implements sim.Actor: each tick samples the probe and re-arms,
+// with no per-sample allocation.
+func (s *Sampler) OnEvent(int32, any) {
+	if s.stop {
+		return
+	}
+	s.series.Add(s.sched.Now(), s.probe())
+	s.sched.PostAfter(s.period, s, 0, nil)
 }
 
 // Stop ends sampling.

@@ -119,8 +119,12 @@ func (c *CBR) sendNext() {
 		f := 1 + c.cfg.Jitter*(c.cfg.RNG.Float64()-0.5)
 		gap = units.Duration(float64(gap) * f)
 	}
-	c.sched.After(gap, c.sendNext)
+	c.sched.PostAfter(gap, c, 0, nil)
 }
+
+// OnEvent implements sim.Actor: the inter-packet timer is a typed kernel
+// event (a method-value callback would allocate per packet).
+func (c *CBR) OnEvent(int32, any) { c.sendNext() }
 
 func (c *CBR) receive(p *packet.Packet) {
 	c.Received++

@@ -198,15 +198,33 @@ func (g *ShortFlows) Active() int { return g.active }
 // Generated returns the total number of flows started.
 func (g *ShortFlows) Generated() int64 { return g.generated }
 
-func (g *ShortFlows) scheduleNext() {
-	wait := units.DurationFromSeconds(g.cfg.RNG.Exp(g.interMean))
-	g.sched.After(wait, func() {
+// ShortFlows event opcodes (see sim.Actor).
+const (
+	// opArrival: the next Poisson arrival is due.
+	opArrival int32 = iota
+	// opDetach: a completed flow's grace period elapsed; unwire it. The
+	// payload is the *topology.Flow.
+	opDetach
+)
+
+// OnEvent implements sim.Actor: arrivals and detaches are typed kernel
+// events, so a short-flow workload allocates per flow, never per timer.
+func (g *ShortFlows) OnEvent(op int32, arg any) {
+	switch op {
+	case opArrival:
 		if !g.running {
 			return
 		}
 		g.launch()
 		g.scheduleNext()
-	})
+	case opDetach:
+		g.cfg.Dumbbell.RemoveFlow(arg.(*topology.Flow))
+	}
+}
+
+func (g *ShortFlows) scheduleNext() {
+	wait := units.DurationFromSeconds(g.cfg.RNG.Exp(g.interMean))
+	g.sched.PostAfter(wait, g, opArrival, nil)
 }
 
 func (g *ShortFlows) launch() {
@@ -227,7 +245,7 @@ func (g *ShortFlows) launch() {
 		g.active--
 		// Defer the detach so the final ACK still reaches the sender
 		// (the sender needs it to cancel its RTO and finish).
-		g.sched.After(f.Station.RTT, func() { d.RemoveFlow(f) })
+		g.sched.PostAfter(f.Station.RTT, g, opDetach, f)
 	}
 	f.Sender.Start()
 }

@@ -23,11 +23,12 @@ func NewRegistry() *Registry { return metrics.New() }
 type Option func(*options)
 
 type options struct {
-	variant    *Variant
-	paced      *bool
-	delayedAck *bool
-	red        *bool
-	metrics    *Registry
+	variant     *Variant
+	paced       *bool
+	delayedAck  *bool
+	red         *bool
+	metrics     *Registry
+	parallelism *int
 }
 
 func applyOptions(opts []Option) options {
@@ -63,6 +64,16 @@ func WithDelayedACK(on bool) Option {
 // scenarios study drop-tail buffers.
 func WithRED(on bool) Option {
 	return func(o *options) { o.red = &on }
+}
+
+// WithParallelism bounds how many independent simulations run at once in
+// the entry points that fan out over multiple runs (SimulateReplicated).
+// Zero or negative means the machine's parallelism. Every simulation owns
+// its scheduler and RNG streams, so results are bit-identical at any
+// setting; only wall-clock time changes. Single-run entry points ignore
+// it — one simulation is always one goroutine.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = &n }
 }
 
 // WithMetrics attaches a telemetry registry to the run. After the run
