@@ -40,6 +40,7 @@
 //	WithDelayedACK      yes           yes             yes         yes      yes   yes
 //	WithRED             yes           yes             yes         yes      yes   yes
 //	WithMetrics         yes           yes             yes         yes      yes   yes
+//	WithAudit           yes           yes             yes         yes      yes   yes
 //	WithParallelism      -            yes              -           -        -     -
 //
 // WithRED switches the scenario's bottleneck queue from drop-tail to
@@ -48,7 +49,9 @@
 // buffer to use it. WithParallelism only affects entry points that fan
 // out over multiple independent runs. WithMetrics attaches a telemetry
 // Registry; telemetry only observes — the same seed produces identical
-// packets with or without it.
+// packets with or without it. WithAudit runs the scenario under the
+// conservation-law checker (see Auditor); auditing likewise only
+// observes.
 package bufsim
 
 import (
@@ -290,6 +293,7 @@ func (s Simulation) longLived(o options) experiment.LongLivedConfig {
 		Warmup:         s.Warmup,
 		Measure:        s.Measure,
 		Metrics:        o.metrics,
+		Audit:          o.audit,
 	}
 }
 
@@ -366,6 +370,7 @@ func SimulateSingleFlow(link Link, bufferFactor float64, seed int64, opts ...Opt
 		SegmentSize:    link.segment(),
 		BufferFactor:   bufferFactor,
 		Metrics:        o.metrics,
+		Audit:          o.audit,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -434,6 +439,7 @@ func SimulateShortFlows(cfg ShortFlowSimulation, opts ...Option) ShortFlowResult
 		Warmup:        cfg.Warmup,
 		Measure:       cfg.Measure,
 		Metrics:       o.metrics,
+		Audit:         o.audit,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -512,6 +518,7 @@ func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Metrics:        o.metrics,
+		Audit:          o.audit,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -589,6 +596,7 @@ func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
 		BufferPackets:  cfg.BufferPackets,
 		UseRED:         cfg.RED,
 		Metrics:        o.metrics,
+		Audit:          o.audit,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant

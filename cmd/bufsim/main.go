@@ -42,6 +42,7 @@ func main() {
 		config    = flag.String("config", "", "JSON scenario file (overrides the other flags)")
 		metrics   = flag.String("metrics", "", "write run telemetry to this JSON file")
 		cpuprof   = flag.String("pprof", "", "write a CPU profile to this file")
+		auditOn   = flag.Bool("audit", false, "run under the conservation-law checker; violations are reported and exit nonzero")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 			log.Fatal(err)
 		}
 		printRules(link, sim.Flows, sim.BufferPackets)
-		runAndPrint(link, sim, *skipSim, *metrics)
+		runAndPrint(link, sim, *skipSim, *metrics, *auditOn)
 		return
 	}
 
@@ -116,7 +117,7 @@ func main() {
 		RED:           *red,
 		Variant:       v,
 		Paced:         *paced,
-	}, *skipSim, *metrics)
+	}, *skipSim, *metrics, *auditOn)
 }
 
 // printRules shows the sizing rules and hardware verdict for the chosen
@@ -139,8 +140,9 @@ func printRules(link bufsim.Link, flows, buffer int) {
 
 // runAndPrint runs the simulation (unless skipped) and reports. When
 // metricsPath is non-empty the run's telemetry registry is dumped there
-// as JSON.
-func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath string) {
+// as JSON. When auditOn is set the run executes under the
+// conservation-law checker and any violation is fatal.
+func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath string, auditOn bool) {
 	if skip {
 		return
 	}
@@ -149,6 +151,11 @@ func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath
 	if metricsPath != "" {
 		reg = bufsim.NewRegistry()
 		opts = append(opts, bufsim.WithMetrics(reg))
+	}
+	var aud *bufsim.Auditor
+	if auditOn {
+		aud = bufsim.NewAuditor()
+		opts = append(opts, bufsim.WithAudit(aud))
 	}
 	fmt.Printf("simulating %d %v flows for %v (+%v warmup)...\n",
 		cfg.Flows, cfg.Variant, cfg.Measure, cfg.Warmup)
@@ -169,6 +176,12 @@ func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath
 			log.Fatal(err)
 		}
 		fmt.Printf("telemetry:       written to %s\n", metricsPath)
+	}
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		fmt.Println("audit:           all invariants held")
 	}
 	if res.Utilization < 0.98 {
 		fmt.Println("note: below 98% utilization — try a larger -buffer-factor or more flows")

@@ -43,6 +43,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/experiment"
 	"bufsim/internal/metrics"
 	"bufsim/internal/plot"
@@ -63,6 +64,7 @@ func main() {
 		metOut  = flag.String("metrics", "", "write run telemetry to this JSON file")
 		cpuprof = flag.String("pprof", "", "write a CPU profile to this file")
 		par     = flag.Int("parallel", 0, "max simulations in flight per sweep (0: all CPUs); results are identical at any setting")
+		auditOn = flag.Bool("audit", false, "run every experiment under the conservation-law checker; violations are logged and the run exits nonzero")
 	)
 	flag.Parse()
 
@@ -81,6 +83,17 @@ func main() {
 	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par}
 	if *metOut != "" {
 		r.metrics = metrics.New()
+	}
+	if *auditOn {
+		// Log the first violations as they happen (the auditor itself also
+		// stores a bounded sample); the summary below reports the total.
+		var logged int64
+		r.audit = audit.New(audit.OnViolation(func(v audit.Violation) {
+			if logged < 20 {
+				log.Printf("audit: %s", v)
+			}
+			logged++
+		}))
 	}
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -109,6 +122,12 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *metOut)
 	}
+	if r.audit != nil {
+		if n := r.audit.Count(); n > 0 {
+			log.Fatalf("audit: %d invariant violation(s); first stored:\n%s", n, r.audit)
+		}
+		fmt.Println("audit: all invariants held")
+	}
 }
 
 type runner struct {
@@ -118,6 +137,7 @@ type runner struct {
 	svgDir   string
 	parallel int // worker bound for the sweeping experiments; 0 = all CPUs
 	metrics  *metrics.Registry
+	audit    *audit.Auditor // nil unless -audit
 }
 
 // child returns a fresh registry for one experiment's telemetry when
@@ -228,7 +248,7 @@ func (r runner) writeCSV(name string, series ...*trace.Series) error {
 }
 
 func (r runner) singleFlow(factor float64, name string) error {
-	cfg := experiment.SingleFlowConfig{BufferFactor: factor, Metrics: r.child()}
+	cfg := experiment.SingleFlowConfig{BufferFactor: factor, Metrics: r.child(), Audit: r.audit}
 	if r.quick {
 		cfg.Warmup, cfg.Measure = 60*units.Second, 60*units.Second
 	}
@@ -254,7 +274,7 @@ func (r runner) singleFlow(factor float64, name string) error {
 }
 
 func (r runner) windowDist() error {
-	cfg := experiment.WindowDistConfig{Seed: r.seed, N: 200}
+	cfg := experiment.WindowDistConfig{Seed: r.seed, N: 200, Audit: r.audit}
 	if r.quick {
 		cfg.N = 80
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -287,7 +307,7 @@ func (r runner) windowDist() error {
 }
 
 func (r runner) minBuffer() error {
-	cfg := experiment.MinBufferConfig{Seed: r.seed, Parallelism: r.parallel}
+	cfg := experiment.MinBufferConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{25, 50, 100, 200}
@@ -342,7 +362,7 @@ func (r runner) minBuffer() error {
 }
 
 func (r runner) shortFlows() error {
-	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel}
+	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit}
 	if r.quick {
 		cfg.Rates = []units.BitRate{20 * units.Mbps, 60 * units.Mbps}
 		cfg.Warmup, cfg.Measure = 5*units.Second, 15*units.Second
@@ -390,7 +410,7 @@ func (r runner) shortFlows() error {
 }
 
 func (r runner) afct(sizes workload.SizeDist, name string) error {
-	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes, Metrics: r.child()}
+	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes, Metrics: r.child(), Audit: r.audit}
 	if r.quick {
 		cfg.NLong = 60
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -403,7 +423,7 @@ func (r runner) afct(sizes workload.SizeDist, name string) error {
 }
 
 func (r runner) table(red bool) error {
-	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child(), Parallelism: r.parallel}
+	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{50, 100}
@@ -423,7 +443,7 @@ func (r runner) table(red bool) error {
 }
 
 func (r runner) production() error {
-	cfg := experiment.ProductionConfig{Seed: r.seed}
+	cfg := experiment.ProductionConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.NLong = 30
 		cfg.Buffers = []int{8, 46, 300}
@@ -434,7 +454,7 @@ func (r runner) production() error {
 }
 
 func (r runner) pacing() error {
-	cfg := experiment.PacingConfig{Seed: r.seed}
+	cfg := experiment.PacingConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.N = 20
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -446,7 +466,7 @@ func (r runner) pacing() error {
 }
 
 func (r runner) smoothing() error {
-	cfg := experiment.SmoothingConfig{Seed: r.seed, TailAt: 20}
+	cfg := experiment.SmoothingConfig{Seed: r.seed, TailAt: 20, Audit: r.audit}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Warmup, cfg.Measure = 8*units.Second, 30*units.Second
@@ -456,7 +476,7 @@ func (r runner) smoothing() error {
 }
 
 func (r runner) backbone() error {
-	cfg := experiment.BackboneConfig{Seed: r.seed}
+	cfg := experiment.BackboneConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.BottleneckRate = 600 * units.Mbps
 		cfg.N = 600
@@ -467,7 +487,7 @@ func (r runner) backbone() error {
 }
 
 func (r runner) multihop() error {
-	cfg := experiment.MultiHopConfig{Seed: r.seed}
+	cfg := experiment.MultiHopConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.LinkRate = 20 * units.Mbps
 		cfg.NPerGroup = 40
@@ -478,7 +498,7 @@ func (r runner) multihop() error {
 }
 
 func (r runner) variants() error {
-	cfg := experiment.VariantConfig{Seed: r.seed}
+	cfg := experiment.VariantConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.N = 60
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -489,7 +509,7 @@ func (r runner) variants() error {
 }
 
 func (r runner) ecn() error {
-	cfg := experiment.ECNConfig{Seed: r.seed}
+	cfg := experiment.ECNConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -500,7 +520,7 @@ func (r runner) ecn() error {
 }
 
 func (r runner) harpoon() error {
-	cfg := experiment.HarpoonConfig{Seed: r.seed}
+	cfg := experiment.HarpoonConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.BottleneckRate = 40 * units.Mbps
 		cfg.Sessions = 500
@@ -511,7 +531,7 @@ func (r runner) harpoon() error {
 }
 
 func (r runner) codel() error {
-	cfg := experiment.CoDelConfig{Seed: r.seed, Parallelism: r.parallel}
+	cfg := experiment.CoDelConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -522,7 +542,7 @@ func (r runner) codel() error {
 }
 
 func (r runner) rttSpread() error {
-	cfg := experiment.RTTSpreadConfig{Seed: r.seed, Parallelism: r.parallel}
+	cfg := experiment.RTTSpreadConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -533,7 +553,7 @@ func (r runner) rttSpread() error {
 }
 
 func (r runner) sync() error {
-	cfg := experiment.SyncConfig{Seed: r.seed}
+	cfg := experiment.SyncConfig{Seed: r.seed, Audit: r.audit}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{5, 30, 120}

@@ -1,0 +1,158 @@
+// Package audit is the conservation-law checking layer: a collector of
+// invariant violations that the scheduler, queues, links and TCP endpoints
+// report into when audit mode is on. The design goal is zero overhead when
+// off — every instrumented component holds a nil *Auditor by default and
+// guards its checks behind a single pointer test — and pure observation
+// when on: auditing never schedules events, consumes randomness, or
+// otherwise perturbs a run, so the same seed produces bit-identical
+// results with audit on or off.
+//
+// The invariant catalogue lives in DESIGN.md; in brief, an Auditor
+// receives flow-conservation violations from queues (accepted ==
+// dequeued + dropped-after-enqueue + queued, in packets and bytes),
+// busy-time and delivery-rate violations from links, clock-monotonicity
+// violations from the event kernel, and window/sequence sanity violations
+// from TCP senders and receivers.
+package audit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"bufsim/internal/units"
+)
+
+// Violation is one detected invariant failure, stamped with the simulated
+// time at which it was observed.
+type Violation struct {
+	At        units.Time // simulated time of the observation
+	Component string     // e.g. "queue:bottleneck", "link:r1->r2", "tcp:sender"
+	Invariant string     // short invariant name, e.g. "packet-conservation"
+	Detail    string     // human-readable specifics with the numbers involved
+}
+
+// String formats the violation with its simulated-time context.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v %s: %s: %s", v.At, v.Component, v.Invariant, v.Detail)
+}
+
+// maxStored bounds how many violations an Auditor retains verbatim; the
+// total count keeps incrementing past it. A broken invariant usually fires
+// on every subsequent operation, so retaining the first few dozen is
+// enough to diagnose while keeping a pathological run's memory bounded.
+const maxStored = 64
+
+// Auditor collects invariant violations. The zero value is not used
+// directly: components hold a nil *Auditor when audit is off, and every
+// reporting method is a safe no-op on nil. An Auditor is safe for
+// concurrent use — replicated sweeps share one across goroutines — but
+// the hot path of an audited run never takes the lock unless a violation
+// actually fires.
+type Auditor struct {
+	mu          sync.Mutex
+	onViolation func(Violation)
+	stored      []Violation
+	total       int64
+}
+
+// Option configures an Auditor.
+type Option func(*Auditor)
+
+// OnViolation installs a callback invoked (under the Auditor's lock, in
+// reporting order) for every violation. Tests use it to fail fast;
+// CLIs use it to log.
+func OnViolation(fn func(Violation)) Option {
+	return func(a *Auditor) { a.onViolation = fn }
+}
+
+// New returns an Auditor ready to be threaded through a simulation.
+func New(opts ...Option) *Auditor {
+	a := &Auditor{}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// Violationf records a violation. It is the single reporting entry point
+// for instrumented components and is a no-op on a nil receiver, which is
+// what makes audit-off free.
+func (a *Auditor) Violationf(at units.Time, component, invariant, format string, args ...any) {
+	if a == nil {
+		return
+	}
+	v := Violation{At: at, Component: component, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+	a.mu.Lock()
+	a.total++
+	if len(a.stored) < maxStored {
+		a.stored = append(a.stored, v)
+	}
+	fn := a.onViolation
+	if fn != nil {
+		// Invoke under the lock so callback output is ordered; callbacks
+		// must not re-enter the Auditor.
+		fn(v)
+	}
+	a.mu.Unlock()
+}
+
+// Count returns the total number of violations recorded, including any
+// beyond the stored window. Safe on nil (returns 0).
+func (a *Auditor) Count() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Violations returns a copy of the stored violations (at most the first
+// maxStored recorded). Safe on nil (returns nil).
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.stored))
+	copy(out, a.stored)
+	return out
+}
+
+// Err returns nil if no violations were recorded, else an error
+// summarizing the first one and the total count.
+func (a *Auditor) Err() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violation(s); first: %s", a.total, a.stored[0])
+}
+
+// String summarizes the Auditor's findings, one violation per line.
+func (a *Auditor) String() string {
+	if a == nil {
+		return "audit: disabled"
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 {
+		return "audit: 0 violations"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violation(s)", a.total)
+	if int64(len(a.stored)) < a.total {
+		fmt.Fprintf(&b, " (showing first %d)", len(a.stored))
+	}
+	for _, v := range a.stored {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"bufsim/internal/units"
+)
+
+func TestNilAuditorIsInert(t *testing.T) {
+	// The whole zero-overhead-off design rests on every method being a
+	// safe no-op on a nil receiver.
+	var a *Auditor
+	a.Violationf(units.Time(5), "comp", "inv", "detail %d", 1)
+	if a.Count() != 0 {
+		t.Errorf("nil Count = %d", a.Count())
+	}
+	if a.Err() != nil {
+		t.Errorf("nil Err = %v", a.Err())
+	}
+	if a.Violations() != nil {
+		t.Errorf("nil Violations = %v", a.Violations())
+	}
+	if got := a.String(); got != "audit: disabled" {
+		t.Errorf("nil String = %q", got)
+	}
+}
+
+func TestEmptyAuditor(t *testing.T) {
+	a := New()
+	if a.Count() != 0 || a.Err() != nil || len(a.Violations()) != 0 {
+		t.Errorf("fresh auditor not empty: count=%d err=%v", a.Count(), a.Err())
+	}
+	if got := a.String(); got != "audit: 0 violations" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestViolationRecording(t *testing.T) {
+	a := New()
+	a.Violationf(units.Time(units.Millisecond), "queue:core", "packet-conservation", "off by %d", 3)
+	if a.Count() != 1 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	v := a.Violations()[0]
+	if v.Component != "queue:core" || v.Invariant != "packet-conservation" || v.Detail != "off by 3" {
+		t.Errorf("violation = %+v", v)
+	}
+	s := v.String()
+	for _, want := range []string{"1ms", "queue:core", "packet-conservation", "off by 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if err := a.Err(); err == nil || !strings.Contains(err.Error(), "1 violation") {
+		t.Errorf("Err = %v", err)
+	}
+}
+
+func TestStoredWindowBoundedTotalUnbounded(t *testing.T) {
+	a := New()
+	for i := 0; i < maxStored+40; i++ {
+		a.Violationf(units.Time(i), "c", "inv", "n=%d", i)
+	}
+	if a.Count() != int64(maxStored+40) {
+		t.Errorf("Count = %d, want %d", a.Count(), maxStored+40)
+	}
+	vs := a.Violations()
+	if len(vs) != maxStored {
+		t.Fatalf("stored %d, want cap %d", len(vs), maxStored)
+	}
+	// The stored window is the first violations, which localize the bug.
+	if vs[0].Detail != "n=0" || vs[maxStored-1].Detail != "n=63" {
+		t.Errorf("stored window = [%s ... %s]", vs[0].Detail, vs[maxStored-1].Detail)
+	}
+	if s := a.String(); !strings.Contains(s, "showing first 64") {
+		t.Errorf("String does not note truncation: %q", s)
+	}
+}
+
+func TestOnViolationCallback(t *testing.T) {
+	var got []Violation
+	a := New(OnViolation(func(v Violation) { got = append(got, v) }))
+	a.Violationf(0, "link", "busy-bounded", "x")
+	a.Violationf(1, "link", "busy-bounded", "y")
+	if len(got) != 2 || got[0].Detail != "x" || got[1].Detail != "y" {
+		t.Errorf("callback saw %v", got)
+	}
+}
+
+func TestConcurrentReporting(t *testing.T) {
+	// Sweep workers share one Auditor; hammer it from several goroutines
+	// (the race detector turns any locking slip into a failure).
+	a := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Violationf(units.Time(i), "c", "inv", "g%d", g)
+				_ = a.Count()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", a.Count(), workers*per)
+	}
+	if len(a.Violations()) != maxStored {
+		t.Errorf("stored %d, want %d", len(a.Violations()), maxStored)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bufsim/internal/audit"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -24,6 +25,10 @@ type PacingConfig struct {
 	BufferFactors  []float64 // multiples of RTTxC/sqrt(n)
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs every comparison under the
+	// conservation-law checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c PacingConfig) withDefaults() PacingConfig {
@@ -59,6 +64,7 @@ func RunPacingAblation(cfg PacingConfig) PacingTable {
 		SegmentSize:    cfg.SegmentSize,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
+		Audit:          cfg.Audit,
 	}
 	ll = ll.withDefaults()
 	meanRTT := (ll.RTTMin + ll.RTTMax) / 2
@@ -115,6 +121,10 @@ type SmoothingConfig struct {
 	TailAt int
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs every access-ratio point under the
+	// conservation-law checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c SmoothingConfig) withDefaults() SmoothingConfig {
@@ -184,6 +194,7 @@ func RunSmoothing(cfg SmoothingConfig) SmoothingTable {
 			Stations:        cfg.Stations,
 			RTTMin:          60 * units.Millisecond,
 			RTTMax:          140 * units.Millisecond,
+			Auditor:         cfg.Audit,
 		})
 		gen := workload.NewShortFlows(workload.ShortFlowConfig{
 			Dumbbell: d,

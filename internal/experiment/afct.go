@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -42,6 +43,14 @@ type AFCTComparisonConfig struct {
 	// Metrics, when non-nil, receives telemetry for both regimes, merged
 	// under the regime labels ("RTT*C", "RTT*C/sqrt(n)").
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs both regimes under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
+
+	// MeanQueueIncludesWarmup reverts MeanQueue to averaging from t=0
+	// instead of the measurement window (see LongLivedConfig).
+	MeanQueueIncludesWarmup bool
 }
 
 func (c AFCTComparisonConfig) withDefaults() AFCTComparisonConfig {
@@ -122,6 +131,14 @@ type MixedConfig struct {
 	// Metrics, when non-nil, receives the run's telemetry (see
 	// LongLivedConfig.Metrics).
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs the scenario under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
+
+	// MeanQueueIncludesWarmup reverts MeanQueue to averaging from t=0
+	// instead of the measurement window (see LongLivedConfig).
+	MeanQueueIncludesWarmup bool
 }
 
 // RunMixed executes one mixed-traffic scenario.
@@ -143,6 +160,9 @@ func RunMixed(cfg MixedConfig) AFCTOutcome {
 		UseRED:          cfg.UseRED,
 		Warmup:          cfg.Warmup,
 		Measure:         cfg.Measure,
+		Audit:           cfg.Audit,
+
+		MeanQueueIncludesWarmup: cfg.MeanQueueIncludesWarmup,
 	}.withDefaults()
 	buffer := cfg.BufferPackets
 	if buffer < 1 {
@@ -188,6 +208,10 @@ type TraceConfig struct {
 	// Metrics, when non-nil, receives the run's telemetry (see
 	// LongLivedConfig.Metrics).
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs the replay under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 // TraceResult summarizes a replayed trace.
@@ -237,6 +261,7 @@ func RunTrace(cfg TraceConfig) TraceResult {
 		Stations:        cfg.Stations,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
+		Auditor:         cfg.Audit,
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), false)
@@ -291,6 +316,7 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metri
 		Stations:        cfg.NLong + 50,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
+		Auditor:         cfg.Audit,
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(buffer, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), false)
@@ -321,6 +347,9 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metri
 
 	warmEnd := units.Time(cfg.Warmup)
 	sched.Run(warmEnd)
+	if d.DropTail != nil && !cfg.MeanQueueIncludesWarmup {
+		d.DropTail.ResetOccupancy(warmEnd)
+	}
 	busySnap := d.Bottleneck.BusyTime()
 	measureEnd := warmEnd + units.Time(cfg.Measure)
 	sched.Run(measureEnd)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bufsim/internal/audit"
 	"bufsim/internal/units"
 )
 
@@ -25,6 +26,10 @@ type BackboneConfig struct {
 	BufferFraction float64
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs the scenario under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c BackboneConfig) withDefaults() BackboneConfig {
@@ -92,6 +97,7 @@ func RunBackbone(cfg BackboneConfig) BackboneResult {
 		BufferPackets:  small,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
+		Audit:          cfg.Audit,
 	})
 	res.UtilDegradation = 1 - res.Small.Utilization
 	return res

@@ -3,6 +3,7 @@ package experiment
 import (
 	"math"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/units"
 )
 
@@ -30,6 +31,11 @@ type CoDelConfig struct {
 	// Parallelism bounds how many designs simulate at once; 0 means the
 	// machine's parallelism.
 	Parallelism int
+
+	// Audit, when non-nil, runs every design under the conservation-law
+	// checker; the Auditor is shared across the sweep's workers (it is
+	// concurrency-safe). See LongLivedConfig.Audit.
+	Audit *audit.Auditor
 }
 
 func (c CoDelConfig) withDefaults() CoDelConfig {
@@ -63,6 +69,7 @@ func RunCoDel(cfg CoDelConfig) CoDelTable {
 		SegmentSize:    cfg.SegmentSize,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
+		Audit:          cfg.Audit,
 	}
 	base = base.withDefaults()
 	meanRTT := (base.RTTMin + base.RTTMax) / 2

@@ -45,6 +45,9 @@ func TestGoldenDigests(t *testing.T) {
 					Seed: 7, N: 24, BottleneckRate: 20 * units.Mbps,
 					BufferPackets: 40,
 					Warmup:        4 * units.Second, Measure: 8 * units.Second,
+					// These digests were recorded when MeanQueue's
+					// integration started at t=0; keep that epoch.
+					MeanQueueIncludesWarmup: true,
 				})
 			},
 		},
@@ -57,6 +60,7 @@ func TestGoldenDigests(t *testing.T) {
 					BufferPackets: 25, Variant: 3, /* Sack */
 					Paced: true, DelayedAck: true,
 					Warmup: 4 * units.Second, Measure: 8 * units.Second,
+					MeanQueueIncludesWarmup: true,
 				})
 			},
 		},
@@ -68,6 +72,7 @@ func TestGoldenDigests(t *testing.T) {
 					Seed: 3, N: 20, BottleneckRate: 20 * units.Mbps,
 					BufferPackets: 30, UseRED: true, ECN: true,
 					Warmup: 4 * units.Second, Measure: 8 * units.Second,
+					MeanQueueIncludesWarmup: true,
 				})
 			},
 		},
@@ -102,6 +107,7 @@ func TestGoldenDigests(t *testing.T) {
 					Sizes:          workload.GeometricSize(10),
 					BottleneckRate: 20 * units.Mbps, BufferPackets: 35,
 					Warmup: 5 * units.Second, Measure: 10 * units.Second,
+					MeanQueueIncludesWarmup: true,
 				})
 			},
 		},

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bufsim/internal/audit"
 	"bufsim/internal/units"
 )
 
@@ -19,6 +20,10 @@ type ECNConfig struct {
 	BufferFactor   float64 // multiple of RTTxC/sqrt(n)
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs both arms under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c ECNConfig) withDefaults() ECNConfig {
@@ -54,6 +59,7 @@ func RunECN(cfg ECNConfig) ECNResult {
 		UseRED:         true,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
+		Audit:          cfg.Audit,
 	}
 	ll = ll.withDefaults()
 	meanRTT := (ll.RTTMin + ll.RTTMax) / 2

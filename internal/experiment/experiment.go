@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/queue"
@@ -62,6 +63,18 @@ type LongLivedConfig struct {
 	// bottleneck queue and link, TCP aggregates). Telemetry only observes:
 	// the packet trace is identical with Metrics nil or set.
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs the scenario under the conservation-law
+	// checker (see internal/audit): kernel, queues, links and TCP
+	// endpoints report invariant violations into it. Like Metrics, audit
+	// only observes — results are bit-identical with Audit nil or set.
+	Audit *audit.Auditor
+
+	// MeanQueueIncludesWarmup reverts MeanQueue to the legacy behaviour of
+	// averaging the bottleneck occupancy from t=0 instead of from the end
+	// of the warmup window. Only the pinned-digest determinism tests set
+	// it; new callers want the unbiased measurement-window default.
+	MeanQueueIncludesWarmup bool
 
 	// Parallelism bounds worker goroutines when this config drives a
 	// multi-run driver (RunLongLivedReplicated); 0 means the machine's
@@ -152,6 +165,7 @@ func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 		Stations:        cfg.N,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
+		Auditor:         cfg.Audit,
 	}
 	if cfg.ECN && !cfg.UseRED {
 		panic("experiment: ECN requires UseRED (a marking-capable queue)")
@@ -184,6 +198,9 @@ func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 
 	warmEnd := units.Time(cfg.Warmup)
 	sched.Run(warmEnd)
+	if d.DropTail != nil && !cfg.MeanQueueIncludesWarmup {
+		d.DropTail.ResetOccupancy(warmEnd)
+	}
 	// Record per-packet queueing delays from here on. The reservoir is
 	// bounded to keep long runs flat in memory; beyond it we keep a
 	// running mean only (P99 over the first million delays is plenty).

@@ -3,6 +3,7 @@ package experiment
 import (
 	"math"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
@@ -33,6 +34,10 @@ type HarpoonConfig struct {
 	Factors []float64
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs both phases under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c HarpoonConfig) withDefaults() HarpoonConfig {
@@ -109,6 +114,7 @@ func runHarpoonOnce(cfg HarpoonConfig, limit queue.Limit) (util, meanActive floa
 		Stations:        stations,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
+		Auditor:         cfg.Audit,
 	})
 	g := workload.NewSessions(workload.SessionConfig{
 		Dumbbell:  d,

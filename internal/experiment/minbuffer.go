@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/units"
 )
 
@@ -30,6 +31,11 @@ type MinBufferConfig struct {
 	// Parallelism bounds how many ladder probes simulate at once; 0 means
 	// the machine's parallelism.
 	Parallelism int
+
+	// Audit, when non-nil, runs every ladder probe under the
+	// conservation-law checker; the Auditor is shared across the sweep's
+	// workers (it is concurrency-safe). See LongLivedConfig.Audit.
+	Audit *audit.Auditor
 }
 
 func (c MinBufferConfig) withDefaults() MinBufferConfig {
@@ -120,6 +126,7 @@ func RunMinBufferSweep(cfg MinBufferConfig) MinBufferResult {
 				BufferPackets:   ladder[i],
 				Warmup:          cfg.Warmup,
 				Measure:         cfg.Measure,
+				Audit:           cfg.Audit,
 			})
 			utils[i] = r.Utilization
 		})

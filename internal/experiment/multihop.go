@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bufsim/internal/audit"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
@@ -26,6 +27,10 @@ type MultiHopConfig struct {
 	BufferFactor float64
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs the chain under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c MultiHopConfig) withDefaults() MultiHopConfig {
@@ -87,6 +92,7 @@ func RunMultiHop(cfg MultiHopConfig) MultiHopResult {
 		Rates:   []units.BitRate{cfg.LinkRate, cfg.LinkRate},
 		Delays:  []units.Duration{5 * units.Millisecond, 5 * units.Millisecond},
 		Buffers: []queue.Limit{queue.PacketLimit(buffer), queue.PacketLimit(buffer)},
+		Auditor: cfg.Audit,
 	})
 
 	rtt := func() units.Duration {

@@ -3,6 +3,7 @@ package experiment
 import (
 	"math"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/units"
 )
 
@@ -28,6 +29,11 @@ type RTTSpreadConfig struct {
 	// Parallelism bounds how many spreads simulate at once; 0 means the
 	// machine's parallelism.
 	Parallelism int
+
+	// Audit, when non-nil, runs every spread under the conservation-law
+	// checker; the Auditor is shared across the sweep's workers (it is
+	// concurrency-safe). See LongLivedConfig.Audit.
+	Audit *audit.Auditor
 }
 
 func (c RTTSpreadConfig) withDefaults() RTTSpreadConfig {
@@ -86,6 +92,7 @@ func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 			BufferFactor:    cfg.BufferFactor,
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
+			Audit:           cfg.Audit,
 		})
 		cov := 0.0
 		if wd.Mean > 0 {
@@ -101,6 +108,7 @@ func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 			BufferPackets:  buffer,
 			Warmup:         cfg.Warmup,
 			Measure:        cfg.Measure,
+			Audit:          cfg.Audit,
 		})
 		out[i] = RTTSpreadPoint{
 			Spread:      spread,

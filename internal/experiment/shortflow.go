@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
@@ -49,6 +50,11 @@ type ShortFlowBufferConfig struct {
 	// Parallelism bounds how many (rate, length) points simulate at once;
 	// 0 means the machine's parallelism.
 	Parallelism int
+
+	// Audit, when non-nil, runs every probe under the conservation-law
+	// checker; the Auditor is shared across the sweep's workers (it is
+	// concurrency-safe). See LongLivedConfig.Audit.
+	Audit *audit.Auditor
 }
 
 func (c ShortFlowBufferConfig) withDefaults() ShortFlowBufferConfig {
@@ -135,6 +141,10 @@ type ShortFlowRunConfig struct {
 	// Metrics, when non-nil, receives the run's telemetry (see
 	// LongLivedConfig.Metrics).
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs the scenario under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c ShortFlowRunConfig) withDefaults() ShortFlowRunConfig {
@@ -181,6 +191,7 @@ func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 		Stations:        cfg.Stations,
 		RTTMin:          cfg.MeanRTT * 6 / 10,
 		RTTMax:          cfg.MeanRTT * 14 / 10,
+		Auditor:         cfg.Audit,
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.Rate, rng.Fork(), false)
@@ -225,6 +236,7 @@ func shortFlowAFCT(cfg ShortFlowBufferConfig, rate units.BitRate, flowLen int64,
 		Warmup:      cfg.Warmup,
 		Measure:     cfg.Measure,
 		Metrics:     reg,
+		Audit:       cfg.Audit,
 	}
 	if buffer.Packets > 0 {
 		run.BufferPackets = buffer.Packets

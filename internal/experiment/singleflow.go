@@ -3,6 +3,7 @@ package experiment
 import (
 	"time"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
@@ -45,6 +46,10 @@ type SingleFlowConfig struct {
 	// Metrics, when non-nil, receives the run's telemetry (see
 	// LongLivedConfig.Metrics).
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs the scenario under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c SingleFlowConfig) withDefaults() SingleFlowConfig {
@@ -106,6 +111,7 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 		Stations:        1,
 		RTTMin:          cfg.RTT,
 		RTTMax:          cfg.RTT,
+		Auditor:         cfg.Audit,
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(buffer, cfg.SegmentSize, cfg.BottleneckRate, sim.NewRNG(cfg.Seed).Fork(), false)

@@ -3,6 +3,7 @@ package experiment
 import (
 	"math"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/units"
 )
 
@@ -26,6 +27,10 @@ type SyncConfig struct {
 	BufferFactor    float64 // multiple of RTTxC/sqrt(n)
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs every point under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c SyncConfig) withDefaults() SyncConfig {
@@ -71,6 +76,7 @@ func RunSyncAblation(cfg SyncConfig) SyncTable {
 			BufferFactor:    cfg.BufferFactor,
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
+			Audit:           cfg.Audit,
 		})
 		cov := 0.0
 		if r.Mean > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
@@ -44,6 +45,11 @@ type UtilizationTableConfig struct {
 	// order under an "n=...,factor=..." prefix once the sweep finishes.
 	// Rows are byte-identical with Metrics nil or set, at any Parallelism.
 	Metrics *metrics.Registry
+
+	// Audit, when non-nil, runs every cell under the conservation-law
+	// checker; the Auditor is shared across the sweep's workers (it is
+	// concurrency-safe). See LongLivedConfig.Audit.
+	Audit *audit.Auditor
 }
 
 func (c UtilizationTableConfig) withDefaults() UtilizationTableConfig {
@@ -128,6 +134,7 @@ func RunUtilizationTable(cfg UtilizationTableConfig) UtilizationTable {
 			UseRED:          cfg.UseRED,
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
+			Audit:           cfg.Audit,
 		}
 		if cellRegs != nil {
 			run.Metrics = cellRegs[k]
@@ -168,6 +175,10 @@ type ProductionConfig struct {
 	Buffers []int // packets; paper: 500, 85, 65, 46
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs every buffer point under the
+	// conservation-law checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c ProductionConfig) withDefaults() ProductionConfig {
@@ -237,6 +248,7 @@ func RunProduction(cfg ProductionConfig) ProductionTable {
 			Stations:        cfg.NLong + 100,
 			RTTMin:          cfg.RTTMin,
 			RTTMax:          cfg.RTTMax,
+			Auditor:         cfg.Audit,
 		})
 		workload.StartLongLived(d, cfg.NLong,
 			tcp.Config{SegmentSize: cfg.SegmentSize}, rng.Fork(), cfg.Warmup/2)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bufsim/internal/audit"
 	"bufsim/internal/tcp"
 	"bufsim/internal/units"
 )
@@ -22,6 +23,10 @@ type VariantConfig struct {
 	Variants []tcp.Variant
 
 	Warmup, Measure units.Duration
+
+	// Audit, when non-nil, runs every variant under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c VariantConfig) withDefaults() VariantConfig {
@@ -61,6 +66,7 @@ func RunVariantAblation(cfg VariantConfig) VariantTable {
 		SegmentSize:    cfg.SegmentSize,
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
+		Audit:          cfg.Audit,
 	}
 	ll = ll.withDefaults()
 	meanRTT := (ll.RTTMin + ll.RTTMax) / 2

@@ -3,6 +3,7 @@ package experiment
 import (
 	"math"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/queue"
 	"bufsim/internal/sim"
 	"bufsim/internal/stats"
@@ -28,6 +29,10 @@ type WindowDistConfig struct {
 
 	Warmup, Measure units.Duration
 	SampleEvery     units.Duration
+
+	// Audit, when non-nil, runs the scenario under the conservation-law
+	// checker (see LongLivedConfig.Audit).
+	Audit *audit.Auditor
 }
 
 func (c WindowDistConfig) withDefaults() WindowDistConfig {
@@ -99,6 +104,7 @@ func RunWindowDist(cfg WindowDistConfig) WindowDistResult {
 		Stations:        cfg.N,
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
+		Auditor:         cfg.Audit,
 	})
 	workload.StartLongLived(d, cfg.N, tcp.Config{SegmentSize: cfg.SegmentSize}, rng.Fork(), cfg.Warmup/2)
 

@@ -9,6 +9,7 @@
 package link
 
 import (
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/queue"
@@ -32,6 +33,12 @@ type Link struct {
 
 	deliveredPackets int64
 	deliveredBytes   units.ByteSize
+
+	// aud, when non-nil, receives busy-time and delivery-consistency
+	// violations; expectedBusy is the exact sum of per-packet transmission
+	// times, maintained only while auditing.
+	aud          *audit.Auditor
+	expectedBusy units.Duration
 
 	// OnDequeue, if set, observes each packet as it begins transmission
 	// together with the queueing delay it experienced. Experiments use it
@@ -86,6 +93,12 @@ func (l *Link) Delay() units.Duration { return l.delay }
 // Queue returns the link's output queue (for occupancy inspection).
 func (l *Link) Queue() queue.Queue { return l.q }
 
+// SetAuditor attaches an invariant checker: after every completed
+// transmission the link verifies its busy-time accounting against the sum
+// of per-packet transmission times and against elapsed simulated time. A
+// nil auditor (the default) disables the checks.
+func (l *Link) SetAuditor(a *audit.Auditor) { l.aud = a }
+
 // Handle implements packet.Handler so links compose directly with routers
 // and protocol agents.
 func (l *Link) Handle(p *packet.Packet) { l.Send(p) }
@@ -132,6 +145,9 @@ func (l *Link) finishTransmit(p *packet.Packet) {
 	l.busyTotal += now.Sub(l.busySince)
 	l.deliveredPackets++
 	l.deliveredBytes += p.Size
+	if l.aud != nil {
+		l.auditTransmit(p, now)
+	}
 
 	if l.delay == 0 {
 		l.dst.Handle(p)
@@ -140,6 +156,38 @@ func (l *Link) finishTransmit(p *packet.Packet) {
 	}
 	if l.q.Len() > 0 {
 		l.startNext()
+	}
+}
+
+// auditTransmit checks the link's accounting after a completed
+// transmission. busyTotal must equal the exact sum of per-packet
+// transmission times (expectedBusy, maintained here so multi-gigabyte
+// delivered totals never hit the int64 overflow a single
+// TransmissionTime(deliveredBytes, rate) call would), and a transmitter
+// that has only existed for `now` cannot have been busy longer than that.
+// A float cross-check ties delivered bytes to rate x busy time, allowing
+// one nanosecond of truncation per packet.
+func (l *Link) auditTransmit(p *packet.Packet, now units.Time) {
+	comp := "link:" + l.name
+	l.expectedBusy += units.TransmissionTime(p.Size, l.rate)
+	if l.busyTotal != l.expectedBusy {
+		l.aud.Violationf(now, comp, "busy-accounting",
+			"busyTotal %v != sum of transmission times %v after %d packets",
+			l.busyTotal, l.expectedBusy, l.deliveredPackets)
+	}
+	if l.busyTotal > units.Duration(now) {
+		l.aud.Violationf(now, comp, "busy-bounded",
+			"busyTotal %v exceeds elapsed simulated time %v", l.busyTotal, units.Duration(now))
+	}
+	// delivered bits / rate should equal busy seconds, up to 1 ns of
+	// TransmissionTime truncation per delivered packet.
+	idealSec := float64(l.deliveredBytes) * 8 / float64(l.rate)
+	busySec := l.busyTotal.Seconds()
+	slopSec := float64(l.deliveredPackets) * 1e-9
+	if diff := idealSec - busySec; diff < -slopSec || diff > slopSec {
+		l.aud.Violationf(now, comp, "delivery-rate",
+			"delivered %d B at %v implies %.9fs busy, accounted %.9fs (slop %.9fs)",
+			l.deliveredBytes, l.rate, idealSec, busySec, slopSec)
 	}
 }
 

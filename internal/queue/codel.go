@@ -23,6 +23,11 @@ type CoDelConfig struct {
 	// Interval is the sliding window over which the minimum sojourn must
 	// dip below Target (default 100 ms).
 	Interval units.Duration
+
+	// MaxPacket is the MTU used for the "fewer than one MTU queued" test
+	// that suspends dropping when the queue is nearly empty (default
+	// units.DefaultSegment, the simulator's segment size).
+	MaxPacket units.ByteSize
 }
 
 func (c CoDelConfig) withDefaults() CoDelConfig {
@@ -31,6 +36,9 @@ func (c CoDelConfig) withDefaults() CoDelConfig {
 	}
 	if c.Interval == 0 {
 		c.Interval = 100 * units.Millisecond
+	}
+	if c.MaxPacket == 0 {
+		c.MaxPacket = units.DefaultSegment
 	}
 	return c
 }
@@ -93,7 +101,7 @@ func (c *CoDel) doDequeue(now units.Time) (*packet.Packet, bool) {
 		return nil, false
 	}
 	sojourn := now.Sub(p.Enqueued)
-	if sojourn < c.cfg.Target || c.q.bytes < 1500 {
+	if sojourn < c.cfg.Target || c.q.bytes < c.cfg.MaxPacket {
 		// Below target (or nearly empty): reset the above-target clock.
 		c.firstAbove = 0
 		return p, false
@@ -148,6 +156,7 @@ func (c *CoDel) Dequeue(now units.Time) *packet.Packet {
 	}
 	if p != nil {
 		c.stats.DequeuedPackets++
+		c.stats.DequeuedBytes += p.Size
 		observeSojourn(c.sojourn, p.Enqueued, now)
 	}
 	return p

@@ -106,6 +106,57 @@ func TestCoDelPhysicalLimit(t *testing.T) {
 	}
 }
 
+func TestCoDelMaxPacketSmallSegments(t *testing.T) {
+	// Regression: the "fewer than one MTU queued" suspension compared the
+	// backlog against a hardcoded 1500 bytes instead of the configured
+	// MaxPacket. With sub-MTU segments (here 100 B) a standing queue of
+	// ten packets never reached 1500 B, so the control law was permanently
+	// suspended and CoDel degenerated into a plain FIFO.
+	q := NewCoDel(CoDelConfig{Limit: PacketLimit(100), MaxPacket: 100})
+	for i := int64(0); i < 10; i++ {
+		q.Enqueue(mkpkt(i, 100), 0)
+	}
+	// One-in one-out at 1 packet/ms keeps the backlog at ten packets
+	// (1000 B) and every sojourn near 10 ms — persistently above the 5 ms
+	// target for many intervals.
+	for i := int64(0); i < 1000; i++ {
+		q.Enqueue(mkpkt(10+i, 100), ms(i))
+		q.Dequeue(ms(i))
+	}
+	if q.SojournDrops == 0 {
+		t.Fatal("persistent 10ms standing queue of 100B packets never dropped; MaxPacket not honoured")
+	}
+}
+
+func TestCoDelMaxPacketJumboSuspension(t *testing.T) {
+	// The converse direction: with a 9000 B MTU configured, a backlog of
+	// four 2000 B packets (8000 B, above the old hardcoded 1500 B but
+	// below one jumbo frame) must keep the control law suspended even
+	// though sojourns sit above target.
+	q := NewCoDel(CoDelConfig{Limit: PacketLimit(100), MaxPacket: 9000})
+	for i := int64(0); i < 4; i++ {
+		q.Enqueue(mkpkt(i, 2000), 0)
+	}
+	for i := int64(0); i < 1000; i++ {
+		now := ms(2 * i)
+		q.Enqueue(mkpkt(4+i, 2000), now)
+		q.Dequeue(now) // backlog after pop: 4 pkts = 8000 B < MaxPacket
+	}
+	if q.SojournDrops != 0 {
+		t.Fatalf("control law dropped %d packets with less than one MTU queued", q.SojournDrops)
+	}
+}
+
+func TestCoDelMaxPacketDefault(t *testing.T) {
+	// The default MTU is the simulator's segment size, not Ethernet's
+	// 1500: the two differ here, which is exactly how the hardcoded
+	// constant went wrong.
+	q := NewCoDel(CoDelConfig{})
+	if q.cfg.MaxPacket != units.DefaultSegment {
+		t.Errorf("default MaxPacket = %v, want units.DefaultSegment (%v)", q.cfg.MaxPacket, units.DefaultSegment)
+	}
+}
+
 func TestCoDelEmptyDequeue(t *testing.T) {
 	q := NewCoDel(CoDelConfig{Limit: Unlimited()})
 	if q.Dequeue(0) != nil {

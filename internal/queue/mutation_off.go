@@ -1,0 +1,9 @@
+//go:build !auditmutation
+
+package queue
+
+// mutateSkipDroppedBytes deliberately breaks DropTail's dropped-bytes
+// accounting when built with -tags auditmutation, so TestAuditMutation can
+// prove the audit layer catches a real bookkeeping bug. In normal builds
+// it is a compile-time false and the guarded increment costs nothing.
+const mutateSkipDroppedBytes = false

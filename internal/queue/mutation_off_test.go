@@ -1,0 +1,14 @@
+//go:build !auditmutation
+
+package queue
+
+import "testing"
+
+// TestMutationGateOffByDefault guards the build-tag wiring: without the
+// auditmutation tag the seeded bug must be compiled out, or every normal
+// run would be measuring a deliberately broken queue.
+func TestMutationGateOffByDefault(t *testing.T) {
+	if mutateSkipDroppedBytes {
+		t.Fatal("mutateSkipDroppedBytes is on without the auditmutation build tag")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build auditmutation
+
+package queue
+
+// mutateSkipDroppedBytes: see mutation_off.go. Under this tag DropTail
+// stops counting DroppedBytes; the audit layer must notice.
+const mutateSkipDroppedBytes = true

@@ -1,0 +1,37 @@
+//go:build auditmutation
+
+package queue
+
+import (
+	"testing"
+
+	"bufsim/internal/audit"
+)
+
+// TestAuditMutation is the mutation check for the audit layer: the
+// auditmutation build tag seeds a real accounting bug (DropTail forgets
+// to count dropped bytes — see mutation_on.go), and this test proves the
+// conservation checker catches it at the first drop. Run with:
+//
+//	go test -tags auditmutation -run TestAuditMutation ./internal/queue/
+func TestAuditMutation(t *testing.T) {
+	if !mutateSkipDroppedBytes {
+		t.Fatal("auditmutation build tag set but the mutation gate is off")
+	}
+	aud := audit.New()
+	w := NewAudited(NewDropTail(PacketLimit(1)), aud, "mutated")
+	w.Enqueue(mkpkt(0, 1000), 0)
+	w.Enqueue(mkpkt(1, 1000), 0) // rejected; its bytes go uncounted under the mutation
+	if aud.Count() == 0 {
+		t.Fatal("seeded DroppedBytes bug was not caught by the conservation audit")
+	}
+	found := false
+	for _, v := range aud.Violations() {
+		if v.Invariant == "drop-accounting" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a drop-accounting violation, got %v", aud.Violations())
+	}
+}

@@ -35,6 +35,7 @@ type Stats struct {
 	DequeuedPackets int64
 	EnqueuedBytes   units.ByteSize
 	DroppedBytes    units.ByteSize
+	DequeuedBytes   units.ByteSize
 }
 
 // DropRate returns the fraction of offered packets that were dropped.
@@ -127,7 +128,9 @@ type DropTail struct {
 	q     fifo
 	stats Stats
 
-	// Time-weighted occupancy accounting.
+	// Time-weighted occupancy accounting, integrated since epoch (zero
+	// until ResetOccupancy moves it, e.g. to the end of a warmup window).
+	epoch      units.Time
 	lastChange units.Time
 	areaPkts   float64 // integral of Len() dt, in packet-seconds
 	maxLen     int
@@ -146,7 +149,9 @@ func NewDropTail(limit Limit) *DropTail {
 func (d *DropTail) Enqueue(p *packet.Packet, now units.Time) bool {
 	if !d.limit.admits(d.q.count, d.q.bytes, p.Size) {
 		d.stats.DroppedPackets++
-		d.stats.DroppedBytes += p.Size
+		if !mutateSkipDroppedBytes {
+			d.stats.DroppedBytes += p.Size
+		}
 		return false
 	}
 	d.account(now)
@@ -166,6 +171,7 @@ func (d *DropTail) Dequeue(now units.Time) *packet.Packet {
 	p := d.q.pop()
 	if p != nil {
 		d.stats.DequeuedPackets++
+		d.stats.DequeuedBytes += p.Size
 		observeSojourn(d.sojourn, p.Enqueued, now)
 	}
 	return p
@@ -189,14 +195,27 @@ func (d *DropTail) Bytes() units.ByteSize { return d.q.bytes }
 func (d *DropTail) Stats() Stats { return d.stats }
 
 // MeanOccupancy returns the time-averaged queue length in packets over
-// [0, now].
+// [epoch, now], where epoch is zero unless ResetOccupancy moved it.
 func (d *DropTail) MeanOccupancy(now units.Time) float64 {
 	d.account(now)
-	t := now.Seconds()
-	if t == 0 {
+	t := now.Sub(d.epoch).Seconds()
+	if t <= 0 {
 		return 0
 	}
 	return d.areaPkts / t
+}
+
+// ResetOccupancy restarts the occupancy measurement at now: the
+// time-weighted integral and the peak restart from the queue's current
+// state, and subsequent MeanOccupancy calls average over [now, ...] only.
+// Experiments call it at the end of their warmup window so the reported
+// mean queue is not biased by the fill-up transient.
+func (d *DropTail) ResetOccupancy(now units.Time) {
+	d.account(now)
+	d.epoch = now
+	d.lastChange = now
+	d.areaPkts = 0
+	d.maxLen = d.q.count
 }
 
 // MaxOccupancy returns the peak queue length observed, in packets.

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -287,6 +288,69 @@ func TestREDIdleDecay(t *testing.T) {
 	q.Enqueue(mkpkt(100, 100), units.Time(units.Second))
 	if q.AvgQueue() >= avgBefore/2 {
 		t.Errorf("avg did not decay across idle: before=%v after=%v", avgBefore, q.AvgQueue())
+	}
+}
+
+func TestREDIdleStateWithoutAging(t *testing.T) {
+	// Regression: with MeanPacketTime == 0 (idle aging unconfigured) the
+	// idle flag was only cleared inside the aging branch, so once the
+	// queue drained it stayed flagged idle forever with a stale idleSince.
+	cfg := REDConfig{
+		Limit: PacketLimit(100), MinThresh: 5, MaxThresh: 50, MaxP: 0.1,
+		Wq: 0.5, Rand: redRand(0.9999),
+	}
+	q := NewRED(cfg)
+	q.Enqueue(mkpkt(0, 100), 0)
+	if q.idle {
+		t.Fatal("idle flag still set after enqueue with aging disabled")
+	}
+	q.Dequeue(ms(1))
+	if !q.idle {
+		t.Fatal("drained queue must be flagged idle")
+	}
+	// Build up an average, drain, and come back much later: with aging
+	// off the average must follow the plain EWMA — the idle gap and the
+	// stale flag must contribute nothing.
+	for i := int64(1); i <= 20; i++ {
+		q.Enqueue(mkpkt(i, 100), ms(2))
+	}
+	avgBefore := q.AvgQueue()
+	for q.Len() > 0 {
+		q.Dequeue(ms(3))
+	}
+	q.Enqueue(mkpkt(100, 100), ms(60_000))
+	want := (1 - cfg.Wq) * avgBefore // one EWMA step toward the empty queue
+	if got := q.AvgQueue(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("avg after idle gap = %v, want plain EWMA %v (MeanPacketTime==0 must not age)", got, want)
+	}
+	if q.idle {
+		t.Error("idle flag set while the queue is non-empty")
+	}
+}
+
+func TestDropTailResetOccupancyEpoch(t *testing.T) {
+	// Ten packets resident for the first second (the warmup fill), then
+	// the epoch moves: the mean over the new window must not see the
+	// transient, which would otherwise bias it toward the fill-up.
+	q := NewDropTail(PacketLimit(100))
+	for i := int64(0); i < 10; i++ {
+		q.Enqueue(mkpkt(i, 100), 0)
+	}
+	sec := units.Time(units.Second)
+	if m := q.MeanOccupancy(sec); m < 9.99 || m > 10.01 {
+		t.Fatalf("MeanOccupancy over warmup = %v, want 10", m)
+	}
+	q.ResetOccupancy(sec)
+	if q.MaxOccupancy() != 10 {
+		t.Errorf("peak after reset = %d, want the current occupancy 10", q.MaxOccupancy())
+	}
+	for i := 0; i < 10; i++ {
+		q.Dequeue(sec)
+	}
+	// Empty throughout (1s, 2s]: the epoch-based mean is 0; integrating
+	// from t=0 would have reported (10*1 + 0*1)/2 = 5.
+	if m := q.MeanOccupancy(2 * sec); m != 0 {
+		t.Errorf("MeanOccupancy after reset = %v, want 0", m)
 	}
 }
 

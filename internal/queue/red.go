@@ -87,11 +87,15 @@ func (r *RED) AvgQueue() float64 { return r.avg }
 // Enqueue implements Queue.
 func (r *RED) Enqueue(p *packet.Packet, now units.Time) bool {
 	// Age the average across an idle period: the queue was empty, so the
-	// average decays as if m small packets had departed.
-	if r.idle && r.cfg.MeanPacketTime > 0 {
-		m := float64(now.Sub(r.idleSince)) / float64(r.cfg.MeanPacketTime)
-		if m > 0 {
-			r.avg *= math.Pow(1-r.cfg.Wq, m)
+	// average decays as if m small packets had departed. The idle flag is
+	// cleared whether or not aging is configured (MeanPacketTime > 0) —
+	// leaving it set would make a later Dequeue's idleSince stamp stale.
+	if r.idle {
+		if r.cfg.MeanPacketTime > 0 {
+			m := float64(now.Sub(r.idleSince)) / float64(r.cfg.MeanPacketTime)
+			if m > 0 {
+				r.avg *= math.Pow(1-r.cfg.Wq, m)
+			}
 		}
 		r.idle = false
 	}
@@ -141,6 +145,7 @@ func (r *RED) Dequeue(now units.Time) *packet.Packet {
 	p := r.q.pop()
 	if p != nil {
 		r.stats.DequeuedPackets++
+		r.stats.DequeuedBytes += p.Size
 		observeSojourn(r.sojourn, p.Enqueued, now)
 		if r.q.count == 0 {
 			r.idle = true

@@ -32,6 +32,7 @@ package sim
 import (
 	"fmt"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/units"
 )
@@ -93,6 +94,7 @@ type Scheduler struct {
 	free       []int32
 	maxPending int
 	stopped    bool
+	aud        *audit.Auditor
 
 	// Processed counts the events executed so far; useful for
 	// benchmarking the kernel itself.
@@ -106,6 +108,11 @@ func NewScheduler() *Scheduler {
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() units.Time { return s.now }
+
+// SetAuditor attaches an invariant checker to the kernel: every fired
+// event is checked for clock monotonicity and slot/heap cross-link
+// consistency. A nil auditor (the default) disables the checks.
+func (s *Scheduler) SetAuditor(a *audit.Auditor) { s.aud = a }
 
 // Pending returns the number of events waiting to fire.
 func (s *Scheduler) Pending() int { return len(s.heap) }
@@ -302,6 +309,16 @@ func (s *Scheduler) siftDown(i int) {
 // (possibly reusing the very slot that just fired).
 func (s *Scheduler) fire() {
 	top := s.heap[0]
+	if s.aud != nil {
+		if top.at < s.now {
+			s.aud.Violationf(s.now, "sim", "clock-monotonic",
+				"event at %v fires after clock reached %v", top.at, s.now)
+		}
+		if sl := &s.slots[top.slot]; sl.pos != 0 {
+			s.aud.Violationf(s.now, "sim", "slot-heap-link",
+				"heap root references slot %d with pos %d (stale or recycled slot about to fire)", top.slot, sl.pos)
+		}
+	}
 	last := len(s.heap) - 1
 	if last > 0 {
 		moved := s.heap[last]
@@ -371,4 +388,55 @@ func (s *Scheduler) Step() bool {
 	}
 	s.fire()
 	return true
+}
+
+// VerifyInvariants exhaustively checks the kernel's internal structure:
+// heap order, heap-entry/slot cross-links, free-list consistency, and
+// that no slot is both pending and free. It is O(pool size) and meant for
+// tests and the fuzz harness, not the hot path. It returns the first
+// problem found, or nil.
+func (s *Scheduler) VerifyInvariants() error {
+	for i := 1; i < len(s.heap); i++ {
+		p := (i - 1) / 4
+		if before(s.heap[i], s.heap[p]) {
+			return fmt.Errorf("sim: heap order violated at index %d: child (at=%v seq=%d) before parent (at=%v seq=%d)",
+				i, s.heap[i].at, s.heap[i].seq, s.heap[p].at, s.heap[p].seq)
+		}
+	}
+	inHeap := make(map[int32]int, len(s.heap))
+	for i, e := range s.heap {
+		if e.at < s.now {
+			return fmt.Errorf("sim: pending event at %v is before now %v", e.at, s.now)
+		}
+		if e.slot < 0 || int(e.slot) >= len(s.slots) {
+			return fmt.Errorf("sim: heap index %d references slot %d outside pool of %d", i, e.slot, len(s.slots))
+		}
+		if prev, dup := inHeap[e.slot]; dup {
+			return fmt.Errorf("sim: slot %d appears in heap twice (indexes %d and %d)", e.slot, prev, i)
+		}
+		inHeap[e.slot] = i
+		if got := s.slots[e.slot].pos; got != int32(i) {
+			return fmt.Errorf("sim: slot %d at heap index %d records pos %d", e.slot, i, got)
+		}
+	}
+	inFree := make(map[int32]bool, len(s.free))
+	for _, id := range s.free {
+		if id < 0 || int(id) >= len(s.slots) {
+			return fmt.Errorf("sim: free list references slot %d outside pool of %d", id, len(s.slots))
+		}
+		if inFree[id] {
+			return fmt.Errorf("sim: slot %d appears in free list twice", id)
+		}
+		inFree[id] = true
+		if _, pending := inHeap[id]; pending {
+			return fmt.Errorf("sim: slot %d is both pending and free", id)
+		}
+		if got := s.slots[id].pos; got != -1 {
+			return fmt.Errorf("sim: free slot %d records pos %d", id, got)
+		}
+	}
+	if len(s.heap)+len(s.free) != len(s.slots) {
+		return fmt.Errorf("sim: %d pending + %d free != %d slots", len(s.heap), len(s.free), len(s.slots))
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package tcp
 import (
 	"fmt"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/packet"
 	"bufsim/internal/sim"
 	"bufsim/internal/units"
@@ -50,6 +51,11 @@ type Receiver struct {
 
 	// OnComplete fires once when a finite flow's data has fully arrived.
 	OnComplete func(now units.Time)
+
+	// aud, when non-nil, receives invariant violations (see SetAuditor in
+	// audit.go); audNext is the auditor's high-water mark of nextExpected.
+	aud     *audit.Auditor
+	audNext int64
 }
 
 // Receiver event opcodes (see sim.Actor).
@@ -121,6 +127,9 @@ func (r *Receiver) Handle(p *packet.Packet) {
 		if r.OnComplete != nil {
 			r.OnComplete(r.CompletedAt)
 		}
+	}
+	if r.aud != nil {
+		r.auditState(r.sched.Now())
 	}
 }
 

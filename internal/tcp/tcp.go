@@ -16,6 +16,7 @@ import (
 	"math"
 	"strings"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/packet"
 	"bufsim/internal/sim"
 	"bufsim/internal/units"
@@ -216,6 +217,14 @@ type Sender struct {
 	paceTimer sim.Event
 	lastSend  units.Time
 
+	// aud, when non-nil, receives invariant violations (see SetAuditor in
+	// audit.go); audUna is the auditor's high-water mark of sndUna, and
+	// audMaxSeq one past the highest sequence ever transmitted (sndNxt
+	// itself rewinds on timeout, so it cannot bound incoming ACKs).
+	aud       *audit.Auditor
+	audUna    int64
+	audMaxSeq int64
+
 	stats Stats
 
 	// OnComplete fires once when the final segment is cumulatively
@@ -366,6 +375,9 @@ func (s *Sender) paceFire() {
 // transmit puts one segment on the wire.
 func (s *Sender) transmit(seq int64, isRetransmit bool) {
 	now := s.sched.Now()
+	if s.aud != nil {
+		s.auditSend(seq, isRetransmit, now)
+	}
 	p := &packet.Packet{
 		Flow: s.cfg.Flow,
 		Src:  s.cfg.Src,
@@ -422,6 +434,9 @@ func (s *Sender) Handle(p *packet.Packet) {
 		return
 	}
 	s.stats.AcksReceived++
+	if s.aud != nil {
+		s.auditAck(p.Ack, s.sched.Now())
+	}
 	if s.sb != nil {
 		s.sb.update(p.Sack, s.sndUna)
 	}
@@ -433,6 +448,9 @@ func (s *Sender) Handle(p *packet.Packet) {
 		s.onNewAck(p.Ack)
 	case p.Ack == s.sndUna && s.Outstanding() > 0:
 		s.onDupAck()
+	}
+	if s.aud != nil {
+		s.auditState(s.sched.Now())
 	}
 	if s.OnStateChange != nil {
 		s.OnStateChange(s.sched.Now())
@@ -597,6 +615,9 @@ func (s *Sender) onTimeout() {
 	// fired, so no timer is pending at this point.
 	s.transmit(s.sndNxt, true)
 	s.sndNxt++
+	if s.aud != nil {
+		s.auditState(s.sched.Now())
+	}
 	if s.OnStateChange != nil {
 		s.OnStateChange(s.sched.Now())
 	}
@@ -636,6 +657,9 @@ func (s *Sender) RTO() units.Duration { return s.rto }
 func (s *Sender) complete(now units.Time) {
 	s.finished = true
 	s.stats.Completed = now
+	if s.aud != nil {
+		s.auditComplete(now)
+	}
 	s.sched.Cancel(s.rtoTimer)
 	s.sched.Cancel(s.paceTimer)
 	if s.OnComplete != nil {

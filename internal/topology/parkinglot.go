@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/link"
 	"bufsim/internal/node"
 	"bufsim/internal/packet"
@@ -33,6 +34,12 @@ type ParkingLotConfig struct {
 	// AccessRate is the rate of every sender's access link; 0 defaults
 	// to 10x the fastest core link.
 	AccessRate units.BitRate
+
+	// Auditor, when non-nil, switches the chain into audit mode: the
+	// scheduler, every core queue (wrapped in a conservation checker),
+	// every link, and every flow's endpoints report invariant violations
+	// into it. See Config.Auditor.
+	Auditor *audit.Auditor
 }
 
 func (c ParkingLotConfig) validate() ParkingLotConfig {
@@ -93,10 +100,18 @@ func NewParkingLot(cfg ParkingLotConfig) *ParkingLot {
 	for i := 0; i <= len(cfg.Rates); i++ {
 		p.Routers = append(p.Routers, node.NewRouter(p.alloc(), fmt.Sprintf("R%d", i)))
 	}
+	if cfg.Auditor != nil {
+		cfg.Sched.SetAuditor(cfg.Auditor)
+	}
 	for i, rate := range cfg.Rates {
 		dt := queue.NewDropTail(cfg.Buffers[i])
 		p.DropTails = append(p.DropTails, dt)
-		l := link.New(fmt.Sprintf("core%d", i), cfg.Sched, rate, cfg.Delays[i], dt, p.Routers[i+1])
+		var q queue.Queue = dt
+		if cfg.Auditor != nil {
+			q = queue.NewAudited(q, cfg.Auditor, fmt.Sprintf("core%d", i))
+		}
+		l := link.New(fmt.Sprintf("core%d", i), cfg.Sched, rate, cfg.Delays[i], q, p.Routers[i+1])
+		l.SetAuditor(cfg.Auditor)
 		p.Links = append(p.Links, l)
 	}
 	return p
@@ -141,6 +156,8 @@ func (p *ParkingLot) AddFlow(from, to int, rtt units.Duration, spec tcp.Config) 
 		units.Duration(rtt/2)-core, queue.NewDropTail(queue.Unlimited()), p.Routers[from])
 	reverse := link.New(fmt.Sprintf("rev%d", p.nextFlow), p.cfg.Sched, p.cfg.AccessRate,
 		units.Duration(rtt/2), queue.NewDropTail(queue.Unlimited()), sndHost)
+	access.SetAuditor(p.cfg.Auditor)
+	reverse.SetAuditor(p.cfg.Auditor)
 
 	// Route the receiver's address along the chain.
 	for i := from; i < to; i++ {
@@ -154,6 +171,10 @@ func (p *ParkingLot) AddFlow(from, to int, rtt units.Duration, spec tcp.Config) 
 	spec.Dst = rcvHost.ID()
 	snd := tcp.NewSender(spec, p.cfg.Sched, access)
 	rcv := tcp.NewReceiver(spec, p.cfg.Sched, reverse)
+	if p.cfg.Auditor != nil {
+		snd.SetAuditor(p.cfg.Auditor)
+		rcv.SetAuditor(p.cfg.Auditor)
+	}
 	sndHost.Attach(spec.Flow, snd)
 	rcvHost.Attach(spec.Flow, rcv)
 

@@ -16,6 +16,7 @@ package topology
 import (
 	"fmt"
 
+	"bufsim/internal/audit"
 	"bufsim/internal/link"
 	"bufsim/internal/node"
 	"bufsim/internal/packet"
@@ -55,6 +56,13 @@ type Config struct {
 	// (2*Tp, excluding queueing). Station RTTs are drawn uniformly; with
 	// RTTMin == RTTMax every station gets the same RTT.
 	RTTMin, RTTMax units.Duration
+
+	// Auditor, when non-nil, switches the whole topology into audit mode:
+	// the scheduler, the bottleneck queue (wrapped in a conservation
+	// checker), every link, and every flow's sender and receiver report
+	// invariant violations into it. Auditing only observes — the same seed
+	// produces identical results with or without it.
+	Auditor *audit.Auditor
 }
 
 func (c Config) validate() Config {
@@ -141,7 +149,12 @@ func NewDumbbell(cfg Config) *Dumbbell {
 		d.DropTail = dt
 		q = dt
 	}
+	if cfg.Auditor != nil {
+		cfg.Sched.SetAuditor(cfg.Auditor)
+		q = queue.NewAudited(q, cfg.Auditor, "bottleneck")
+	}
 	d.Bottleneck = link.New("bottleneck", cfg.Sched, cfg.BottleneckRate, cfg.BottleneckDelay, q, d.R2)
+	d.Bottleneck.SetAuditor(cfg.Auditor)
 
 	for i := 0; i < cfg.Stations; i++ {
 		d.stations = append(d.stations, d.buildStation(i))
@@ -176,6 +189,8 @@ func (d *Dumbbell) buildStation(i int) *Station {
 		fwdDelay, queue.NewDropTail(queue.Unlimited()), d.R1)
 	st.reverse = link.New(fmt.Sprintf("reverse%d", i), cfg.Sched, cfg.AccessRate,
 		revDelay, queue.NewDropTail(queue.Unlimited()), st.senderHost)
+	st.access.SetAuditor(cfg.Auditor)
+	st.reverse.SetAuditor(cfg.Auditor)
 
 	d.R1.AddRoute(st.receiverHost.ID(), d.Bottleneck)
 	d.R2.AddRoute(st.receiverHost.ID(), st.receiverHost)
@@ -206,6 +221,10 @@ func (d *Dumbbell) AddFlow(st *Station, spec tcp.Config) *Flow {
 
 	snd := tcp.NewSender(spec, d.cfg.Sched, st.access)
 	rcv := tcp.NewReceiver(spec, d.cfg.Sched, st.reverse)
+	if d.cfg.Auditor != nil {
+		snd.SetAuditor(d.cfg.Auditor)
+		rcv.SetAuditor(d.cfg.Auditor)
+	}
 	st.senderHost.Attach(spec.Flow, snd)
 	st.receiverHost.Attach(spec.Flow, rcv)
 

@@ -1,6 +1,9 @@
 package bufsim
 
-import "bufsim/internal/metrics"
+import (
+	"bufsim/internal/audit"
+	"bufsim/internal/metrics"
+)
 
 // Registry collects simulator telemetry: counters, gauges and histograms
 // published by the scheduler, the bottleneck queue and the TCP senders.
@@ -11,6 +14,23 @@ type Registry = metrics.Registry
 
 // NewRegistry returns an empty telemetry registry for WithMetrics.
 func NewRegistry() *Registry { return metrics.New() }
+
+// Auditor collects conservation-law violations: every queue, link, TCP
+// endpoint and the event clock cross-check their own accounting against
+// independent shadow counters while the simulation runs. Attach one to a
+// run with WithAudit, then inspect Count, Violations or Err. Auditing
+// only observes — a run produces bit-identical results whether or not an
+// Auditor is attached.
+type Auditor = audit.Auditor
+
+// Violation is one invariant failure recorded by an Auditor, stamped
+// with the simulated time at which it was detected.
+type Violation = audit.Violation
+
+// NewAuditor returns an empty auditor for WithAudit. OnViolation (see
+// audit.OnViolation) may be passed to observe failures as they happen;
+// by default they accumulate for inspection after the run.
+func NewAuditor(opts ...audit.Option) *Auditor { return audit.New(opts...) }
 
 // Option adjusts a Simulate* run beyond what its configuration struct
 // carries. Options always win over the corresponding config field, so
@@ -29,6 +49,7 @@ type options struct {
 	red         *bool
 	metrics     *Registry
 	parallelism *int
+	audit       *Auditor
 }
 
 func applyOptions(opts []Option) options {
@@ -82,4 +103,15 @@ func WithParallelism(n int) Option {
 // the same seed yields identical packets with or without it.
 func WithMetrics(reg *Registry) Option {
 	return func(o *options) { o.metrics = reg }
+}
+
+// WithAudit runs the simulation under the conservation-law checker: every
+// queue, link, TCP endpoint and the event clock verify their accounting
+// invariants as events execute, recording violations into aud. A clean
+// run leaves aud.Count() at zero. Auditing never perturbs the
+// simulation: the same seed yields identical results with or without it.
+// The same Auditor may be shared by concurrent runs (SimulateReplicated);
+// it is concurrency-safe.
+func WithAudit(aud *Auditor) Option {
+	return func(o *options) { o.audit = aud }
 }
