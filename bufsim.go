@@ -41,6 +41,7 @@
 //	WithRED             yes           yes             yes         yes      yes   yes
 //	WithMetrics         yes           yes             yes         yes      yes   yes
 //	WithAudit           yes           yes             yes         yes      yes   yes
+//	WithCache           yes           yes             yes         yes      yes   yes
 //	WithParallelism      -            yes              -           -        -     -
 //
 // WithRED switches the scenario's bottleneck queue from drop-tail to
@@ -51,7 +52,9 @@
 // Registry; telemetry only observes — the same seed produces identical
 // packets with or without it. WithAudit runs the scenario under the
 // conservation-law checker (see Auditor); auditing likewise only
-// observes.
+// observes. WithCache memoizes results in a content-addressed on-disk
+// store keyed by the full configuration: re-running an identical
+// scenario returns the stored result instead of simulating (see Cache).
 package bufsim
 
 import (
@@ -294,6 +297,7 @@ func (s Simulation) longLived(o options) experiment.LongLivedConfig {
 		Measure:        s.Measure,
 		Metrics:        o.metrics,
 		Audit:          o.audit,
+		Cache:          o.cache,
 	}
 }
 
@@ -371,6 +375,7 @@ func SimulateSingleFlow(link Link, bufferFactor float64, seed int64, opts ...Opt
 		BufferFactor:   bufferFactor,
 		Metrics:        o.metrics,
 		Audit:          o.audit,
+		Cache:          o.cache,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -440,6 +445,7 @@ func SimulateShortFlows(cfg ShortFlowSimulation, opts ...Option) ShortFlowResult
 		Measure:       cfg.Measure,
 		Metrics:       o.metrics,
 		Audit:         o.audit,
+		Cache:         o.cache,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -519,6 +525,7 @@ func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 		Measure:        cfg.Measure,
 		Metrics:        o.metrics,
 		Audit:          o.audit,
+		Cache:          o.cache,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -597,6 +604,7 @@ func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
 		UseRED:         cfg.RED,
 		Metrics:        o.metrics,
 		Audit:          o.audit,
+		Cache:          o.cache,
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant

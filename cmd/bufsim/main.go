@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 
 	"bufsim"
@@ -43,8 +44,27 @@ func main() {
 		metrics   = flag.String("metrics", "", "write run telemetry to this JSON file")
 		cpuprof   = flag.String("pprof", "", "write a CPU profile to this file")
 		auditOn   = flag.Bool("audit", false, "run under the conservation-law checker; violations are reported and exit nonzero")
+		cacheOn   = flag.Bool("cache", false, "memoize the result in a content-addressed store; a re-run with identical parameters replays from disk")
+		cacheDir  = flag.String("cachedir", filepath.Join("results", "cache"), "directory for the -cache store")
+		resume    = flag.Bool("resume", false, "alias for -cache (a single scenario has no checkpoints; see paperexp -resume for sweeps)")
+		verify    = flag.Bool("cache-verify", false, "recompute a sample of cache hits and fail on digest mismatch (implies -cache)")
 	)
 	flag.Parse()
+
+	if *resume || *verify {
+		*cacheOn = true
+	}
+	var cache *bufsim.Cache
+	if *cacheOn {
+		c, err := bufsim.OpenCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verify {
+			c.SetVerifySample(0.25)
+		}
+		cache = c
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -64,7 +84,7 @@ func main() {
 			log.Fatal(err)
 		}
 		printRules(link, sim.Flows, sim.BufferPackets)
-		runAndPrint(link, sim, *skipSim, *metrics, *auditOn)
+		runAndPrint(link, sim, *skipSim, *metrics, *auditOn, cache)
 		return
 	}
 
@@ -117,7 +137,7 @@ func main() {
 		RED:           *red,
 		Variant:       v,
 		Paced:         *paced,
-	}, *skipSim, *metrics, *auditOn)
+	}, *skipSim, *metrics, *auditOn, cache)
 }
 
 // printRules shows the sizing rules and hardware verdict for the chosen
@@ -141,8 +161,9 @@ func printRules(link bufsim.Link, flows, buffer int) {
 // runAndPrint runs the simulation (unless skipped) and reports. When
 // metricsPath is non-empty the run's telemetry registry is dumped there
 // as JSON. When auditOn is set the run executes under the
-// conservation-law checker and any violation is fatal.
-func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath string, auditOn bool) {
+// conservation-law checker and any violation is fatal. When cache is
+// non-nil the result is memoized there.
+func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath string, auditOn bool, cache *bufsim.Cache) {
 	if skip {
 		return
 	}
@@ -156,6 +177,9 @@ func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath
 	if auditOn {
 		aud = bufsim.NewAuditor()
 		opts = append(opts, bufsim.WithAudit(aud))
+	}
+	if cache != nil {
+		opts = append(opts, bufsim.WithCacheStore(cache))
 	}
 	fmt.Printf("simulating %d %v flows for %v (+%v warmup)...\n",
 		cfg.Flows, cfg.Variant, cfg.Measure, cfg.Warmup)
@@ -182,6 +206,17 @@ func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath
 			log.Fatalf("audit: %v", err)
 		}
 		fmt.Println("audit:           all invariants held")
+	}
+	if cache != nil {
+		s := cache.Stats()
+		if s.Hits > 0 {
+			fmt.Println("cache:           hit — result replayed from a previous identical run")
+		} else {
+			fmt.Println("cache:           miss — result stored for next time")
+		}
+		if fails := cache.VerifyFailures(); len(fails) > 0 {
+			log.Fatalf("cache-verify: recomputation mismatched the stored result (%d failure(s))", len(fails))
+		}
 	}
 	if res.Utilization < 0.98 {
 		fmt.Println("note: below 98% utilization — try a larger -buffer-factor or more flows")

@@ -47,6 +47,7 @@ import (
 	"bufsim/internal/experiment"
 	"bufsim/internal/metrics"
 	"bufsim/internal/plot"
+	"bufsim/internal/runcache"
 	"bufsim/internal/trace"
 	"bufsim/internal/units"
 	"bufsim/internal/workload"
@@ -56,15 +57,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperexp: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, all)")
-		quick   = flag.Bool("quick", false, "scaled-down parameters for a fast run")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		csvDir  = flag.String("csv", "", "directory to write CSV series into (optional)")
-		svgDir  = flag.String("svg", "", "directory to write SVG figures into (optional)")
-		metOut  = flag.String("metrics", "", "write run telemetry to this JSON file")
-		cpuprof = flag.String("pprof", "", "write a CPU profile to this file")
-		par     = flag.Int("parallel", 0, "max simulations in flight per sweep (0: all CPUs); results are identical at any setting")
-		auditOn = flag.Bool("audit", false, "run every experiment under the conservation-law checker; violations are logged and the run exits nonzero")
+		exp      = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, all)")
+		quick    = flag.Bool("quick", false, "scaled-down parameters for a fast run")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
+		svgDir   = flag.String("svg", "", "directory to write SVG figures into (optional)")
+		metOut   = flag.String("metrics", "", "write run telemetry to this JSON file")
+		cpuprof  = flag.String("pprof", "", "write a CPU profile to this file")
+		par      = flag.Int("parallel", 0, "max simulations in flight per sweep (0: all CPUs); results are identical at any setting")
+		auditOn  = flag.Bool("audit", false, "run every experiment under the conservation-law checker; violations are logged and the run exits nonzero")
+		cacheOn  = flag.Bool("cache", false, "memoize per-point results in a content-addressed store; a re-run with identical parameters replays from disk")
+		cacheDir = flag.String("cachedir", filepath.Join("results", "cache"), "directory for the -cache store")
+		resume   = flag.Bool("resume", false, "continue an interrupted run from its checkpoint manifests (implies -cache)")
+		verify   = flag.Bool("cache-verify", false, "recompute a sample of cache hits and fail on any digest mismatch (implies -cache)")
 	)
 	flag.Parse()
 
@@ -81,6 +86,20 @@ func main() {
 	}
 
 	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par}
+	if *resume || *verify {
+		*cacheOn = true
+	}
+	if *cacheOn {
+		store, err := runcache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verify {
+			store.SetVerifySample(verifySample)
+		}
+		r.cache = store
+		r.resume = *resume
+	}
 	if *metOut != "" {
 		r.metrics = metrics.New()
 	}
@@ -101,13 +120,42 @@ func main() {
 			"fig11", "sync", "red", "pareto", "pacing", "smooth", "internet2",
 			"multihop", "variants", "ecn", "harpoon", "rttspread", "codel"}
 	}
+	// The run manifest records which experiments of this exact invocation
+	// have already printed their output, so -resume skips straight to the
+	// first unfinished one.
+	var man *runcache.RunManifest
+	if r.cache != nil {
+		runKey := runcache.Key("paperexp-run-v1", "run", struct {
+			Ids   []string
+			Quick bool
+			Seed  int64
+		}{ids, *quick, *seed})
+		man = r.cache.Run(runKey, r.resume)
+	}
 	for _, id := range ids {
+		if man.IsDone(id) {
+			fmt.Printf("=== %s === (done in a previous run, skipped)\n\n", id)
+			continue
+		}
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", id)
 		if err := r.run(id); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		man.MarkDone(id)
+	}
+	man.Finish()
+	if r.cache != nil {
+		s := r.cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%.0f%% hit rate), %d stored, %d verified\n",
+			s.Hits, s.Misses, 100*s.HitRate(), s.Puts, s.Verified)
+		if fails := r.cache.VerifyFailures(); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("cache-verify: %s point %s recomputed differently", f.Kind, f.Key[:12])
+			}
+			log.Fatalf("cache-verify: %d of %d sampled hits mismatched", len(fails), s.Verified)
+		}
 	}
 	if r.metrics != nil {
 		f, err := os.Create(*metOut)
@@ -137,8 +185,13 @@ type runner struct {
 	svgDir   string
 	parallel int // worker bound for the sweeping experiments; 0 = all CPUs
 	metrics  *metrics.Registry
-	audit    *audit.Auditor // nil unless -audit
+	audit    *audit.Auditor  // nil unless -audit
+	cache    *runcache.Store // nil unless -cache
+	resume   bool
 }
+
+// verifySample is the fraction of cache hits -cache-verify recomputes.
+const verifySample = 0.25
 
 // child returns a fresh registry for one experiment's telemetry when
 // -metrics was requested, else nil (telemetry disabled).
@@ -248,7 +301,7 @@ func (r runner) writeCSV(name string, series ...*trace.Series) error {
 }
 
 func (r runner) singleFlow(factor float64, name string) error {
-	cfg := experiment.SingleFlowConfig{BufferFactor: factor, Metrics: r.child(), Audit: r.audit}
+	cfg := experiment.SingleFlowConfig{BufferFactor: factor, Metrics: r.child(), Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.Warmup, cfg.Measure = 60*units.Second, 60*units.Second
 	}
@@ -274,7 +327,7 @@ func (r runner) singleFlow(factor float64, name string) error {
 }
 
 func (r runner) windowDist() error {
-	cfg := experiment.WindowDistConfig{Seed: r.seed, N: 200, Audit: r.audit}
+	cfg := experiment.WindowDistConfig{Seed: r.seed, N: 200, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.N = 80
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -307,7 +360,7 @@ func (r runner) windowDist() error {
 }
 
 func (r runner) minBuffer() error {
-	cfg := experiment.MinBufferConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit}
+	cfg := experiment.MinBufferConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{25, 50, 100, 200}
@@ -362,7 +415,7 @@ func (r runner) minBuffer() error {
 }
 
 func (r runner) shortFlows() error {
-	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit}
+	cfg := experiment.ShortFlowBufferConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
 	if r.quick {
 		cfg.Rates = []units.BitRate{20 * units.Mbps, 60 * units.Mbps}
 		cfg.Warmup, cfg.Measure = 5*units.Second, 15*units.Second
@@ -410,7 +463,7 @@ func (r runner) shortFlows() error {
 }
 
 func (r runner) afct(sizes workload.SizeDist, name string) error {
-	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes, Metrics: r.child(), Audit: r.audit}
+	cfg := experiment.AFCTComparisonConfig{Seed: r.seed, Sizes: sizes, Metrics: r.child(), Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.NLong = 60
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -423,7 +476,7 @@ func (r runner) afct(sizes workload.SizeDist, name string) error {
 }
 
 func (r runner) table(red bool) error {
-	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit}
+	cfg := experiment.UtilizationTableConfig{Seed: r.seed, UseRED: red, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{50, 100}
@@ -443,7 +496,7 @@ func (r runner) table(red bool) error {
 }
 
 func (r runner) production() error {
-	cfg := experiment.ProductionConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.ProductionConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
 	if r.quick {
 		cfg.NLong = 30
 		cfg.Buffers = []int{8, 46, 300}
@@ -454,7 +507,7 @@ func (r runner) production() error {
 }
 
 func (r runner) pacing() error {
-	cfg := experiment.PacingConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.PacingConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.N = 20
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -466,7 +519,7 @@ func (r runner) pacing() error {
 }
 
 func (r runner) smoothing() error {
-	cfg := experiment.SmoothingConfig{Seed: r.seed, TailAt: 20, Audit: r.audit}
+	cfg := experiment.SmoothingConfig{Seed: r.seed, TailAt: 20, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Warmup, cfg.Measure = 8*units.Second, 30*units.Second
@@ -476,7 +529,7 @@ func (r runner) smoothing() error {
 }
 
 func (r runner) backbone() error {
-	cfg := experiment.BackboneConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.BackboneConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.BottleneckRate = 600 * units.Mbps
 		cfg.N = 600
@@ -487,7 +540,7 @@ func (r runner) backbone() error {
 }
 
 func (r runner) multihop() error {
-	cfg := experiment.MultiHopConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.MultiHopConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.LinkRate = 20 * units.Mbps
 		cfg.NPerGroup = 40
@@ -498,7 +551,7 @@ func (r runner) multihop() error {
 }
 
 func (r runner) variants() error {
-	cfg := experiment.VariantConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.VariantConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.N = 60
 		cfg.BottleneckRate = 20 * units.Mbps
@@ -509,7 +562,7 @@ func (r runner) variants() error {
 }
 
 func (r runner) ecn() error {
-	cfg := experiment.ECNConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.ECNConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -520,7 +573,7 @@ func (r runner) ecn() error {
 }
 
 func (r runner) harpoon() error {
-	cfg := experiment.HarpoonConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.HarpoonConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.BottleneckRate = 40 * units.Mbps
 		cfg.Sessions = 500
@@ -531,7 +584,7 @@ func (r runner) harpoon() error {
 }
 
 func (r runner) codel() error {
-	cfg := experiment.CoDelConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit}
+	cfg := experiment.CoDelConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -542,7 +595,7 @@ func (r runner) codel() error {
 }
 
 func (r runner) rttSpread() error {
-	cfg := experiment.RTTSpreadConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit}
+	cfg := experiment.RTTSpreadConfig{Seed: r.seed, Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
 	if r.quick {
 		cfg.N = 100
 		cfg.BottleneckRate = 40 * units.Mbps
@@ -553,7 +606,7 @@ func (r runner) rttSpread() error {
 }
 
 func (r runner) sync() error {
-	cfg := experiment.SyncConfig{Seed: r.seed, Audit: r.audit}
+	cfg := experiment.SyncConfig{Seed: r.seed, Audit: r.audit, Cache: r.cache}
 	if r.quick {
 		cfg.BottleneckRate = 20 * units.Mbps
 		cfg.Ns = []int{5, 30, 120}

@@ -4,6 +4,7 @@ import (
 	"bufsim/internal/audit"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -29,6 +30,10 @@ type PacingConfig struct {
 	// Audit, when non-nil, runs every comparison under the
 	// conservation-law checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the underlying long-lived runs (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c PacingConfig) withDefaults() PacingConfig {
@@ -65,6 +70,7 @@ func RunPacingAblation(cfg PacingConfig) PacingTable {
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Audit:          cfg.Audit,
+		Cache:          cfg.Cache,
 	}
 	ll = ll.withDefaults()
 	meanRTT := (ll.RTTMin + ll.RTTMax) / 2
@@ -125,6 +131,10 @@ type SmoothingConfig struct {
 	// Audit, when non-nil, runs every access-ratio point under the
 	// conservation-law checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes each access-ratio point (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c SmoothingConfig) withDefaults() SmoothingConfig {
@@ -175,66 +185,79 @@ type SmoothingPoint struct {
 	ModelMD1 float64
 }
 
-// RunSmoothing executes the access-link smoothing ablation.
+// RunSmoothing executes the access-link smoothing ablation. With
+// cfg.Cache set, each access-ratio point is memoized under a key with
+// AccessRatios narrowed to that single ratio, so points are shared
+// between runs that sweep different ratio lists.
 func RunSmoothing(cfg SmoothingConfig) SmoothingTable {
 	cfg = cfg.withDefaults()
 	moments := model.MomentsForFlowLength(cfg.FlowLen, 2, cfg.MaxWindow)
 
 	out := SmoothingTable{TailAt: cfg.TailAt}
 	for _, ratio := range cfg.AccessRatios {
-		sched := sim.NewScheduler()
-		rng := sim.NewRNG(cfg.Seed)
-		d := topology.NewDumbbell(topology.Config{
-			Sched:           sched,
-			RNG:             rng.Fork(),
-			BottleneckRate:  cfg.BottleneckRate,
-			BottleneckDelay: 10 * units.Millisecond,
-			Buffer:          queue.Unlimited(),
-			AccessRate:      units.BitRate(ratio * float64(cfg.BottleneckRate)),
-			Stations:        cfg.Stations,
-			RTTMin:          60 * units.Millisecond,
-			RTTMax:          140 * units.Millisecond,
-			Auditor:         cfg.Audit,
+		cfgKey := cfg
+		cfgKey.AccessRatios = []float64{ratio}
+		p := memoRun(cfg.Cache, "smoothing", cfgKey, cfg.Audit != nil, func() SmoothingPoint {
+			return runSmoothingPoint(cfg, ratio, moments)
 		})
-		gen := workload.NewShortFlows(workload.ShortFlowConfig{
-			Dumbbell: d,
-			RNG:      rng.Fork(),
-			Load:     cfg.Load,
-			Sizes:    workload.FixedSize(cfg.FlowLen),
-			TCP:      tcp.Config{SegmentSize: cfg.SegmentSize, MaxWindow: cfg.MaxWindow},
-		})
-		gen.Start()
-
-		warmEnd := units.Time(cfg.Warmup)
-		sched.Run(warmEnd)
-		// Sample the queue at every enqueue during the window (arrival
-		// sampling, matching the model's P(Q >= b) seen by arrivals).
-		var samples, exceed int64
-		var occupancy float64
-		var probe func()
-		probe = func() {
-			q := d.Bottleneck.Queue().Len()
-			samples++
-			occupancy += float64(q)
-			if q >= cfg.TailAt {
-				exceed++
-			}
-			sched.After(units.Millisecond, probe)
-		}
-		sched.After(units.Millisecond, probe)
-		sched.Run(warmEnd + units.Time(cfg.Measure))
-		gen.Stop()
-
-		p := SmoothingPoint{
-			AccessRatio: ratio,
-			ModelMG1:    moments.QueueTail(cfg.Load, float64(cfg.TailAt)),
-			ModelMD1:    model.MD1QueueTail(cfg.Load, float64(cfg.TailAt)),
-		}
-		if samples > 0 {
-			p.TailProb = float64(exceed) / float64(samples)
-			p.MeanQueue = occupancy / float64(samples)
-		}
 		out.Points = append(out.Points, p)
 	}
 	return out
+}
+
+// runSmoothingPoint measures one access ratio; cfg has defaults applied.
+func runSmoothingPoint(cfg SmoothingConfig, ratio float64, moments model.BurstMoments) SmoothingPoint {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	d := topology.NewDumbbell(topology.Config{
+		Sched:           sched,
+		RNG:             rng.Fork(),
+		BottleneckRate:  cfg.BottleneckRate,
+		BottleneckDelay: 10 * units.Millisecond,
+		Buffer:          queue.Unlimited(),
+		AccessRate:      units.BitRate(ratio * float64(cfg.BottleneckRate)),
+		Stations:        cfg.Stations,
+		RTTMin:          60 * units.Millisecond,
+		RTTMax:          140 * units.Millisecond,
+		Auditor:         cfg.Audit,
+	})
+	gen := workload.NewShortFlows(workload.ShortFlowConfig{
+		Dumbbell: d,
+		RNG:      rng.Fork(),
+		Load:     cfg.Load,
+		Sizes:    workload.FixedSize(cfg.FlowLen),
+		TCP:      tcp.Config{SegmentSize: cfg.SegmentSize, MaxWindow: cfg.MaxWindow},
+	})
+	gen.Start()
+
+	warmEnd := units.Time(cfg.Warmup)
+	sched.Run(warmEnd)
+	// Sample the queue at every enqueue during the window (arrival
+	// sampling, matching the model's P(Q >= b) seen by arrivals).
+	var samples, exceed int64
+	var occupancy float64
+	var probe func()
+	probe = func() {
+		q := d.Bottleneck.Queue().Len()
+		samples++
+		occupancy += float64(q)
+		if q >= cfg.TailAt {
+			exceed++
+		}
+		sched.After(units.Millisecond, probe)
+	}
+	sched.After(units.Millisecond, probe)
+	sched.Run(warmEnd + units.Time(cfg.Measure))
+	gen.Stop()
+
+	p := SmoothingPoint{
+		AccessRatio: ratio,
+		ModelMG1:    moments.QueueTail(cfg.Load, float64(cfg.TailAt)),
+		ModelMD1:    model.MD1QueueTail(cfg.Load, float64(cfg.TailAt)),
+	}
+	if samples > 0 {
+		p.TailProb = float64(exceed) / float64(samples)
+		p.MeanQueue = occupancy / float64(samples)
+	}
+	return p
 }

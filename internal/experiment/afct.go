@@ -7,6 +7,7 @@ import (
 	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -47,6 +48,10 @@ type AFCTComparisonConfig struct {
 	// Audit, when non-nil, runs both regimes under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes each regime's run (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 
 	// MeanQueueIncludesWarmup reverts MeanQueue to averaging from t=0
 	// instead of the measurement window (see LongLivedConfig).
@@ -136,6 +141,11 @@ type MixedConfig struct {
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
 
+	// Cache, when non-nil, memoizes the run (see LongLivedConfig.Cache).
+	// The entry is shared with RunAFCTComparison points that lower to the
+	// same scenario.
+	Cache *runcache.Store
+
 	// MeanQueueIncludesWarmup reverts MeanQueue to averaging from t=0
 	// instead of the measurement window (see LongLivedConfig).
 	MeanQueueIncludesWarmup bool
@@ -161,6 +171,7 @@ func RunMixed(cfg MixedConfig) AFCTOutcome {
 		Warmup:          cfg.Warmup,
 		Measure:         cfg.Measure,
 		Audit:           cfg.Audit,
+		Cache:           cfg.Cache,
 
 		MeanQueueIncludesWarmup: cfg.MeanQueueIncludesWarmup,
 	}.withDefaults()
@@ -212,6 +223,10 @@ type TraceConfig struct {
 	// Audit, when non-nil, runs the replay under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the replay's result (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 // TraceResult summarizes a replayed trace.
@@ -222,7 +237,8 @@ type TraceResult struct {
 	Utilization float64 // over [first arrival, last arrival]
 }
 
-// RunTrace replays the trace and reports completion statistics.
+// RunTrace replays the trace and reports completion statistics. With
+// cfg.Cache set the result is memoized.
 func RunTrace(cfg TraceConfig) TraceResult {
 	if len(cfg.Flows) == 0 {
 		return TraceResult{}
@@ -245,6 +261,13 @@ func RunTrace(cfg TraceConfig) TraceResult {
 	if cfg.Drain == 0 {
 		cfg.Drain = 60 * units.Second
 	}
+	return memoRun(cfg.Cache, "trace", cfg, cfg.Metrics != nil || cfg.Audit != nil, func() TraceResult {
+		return runTrace(cfg)
+	})
+}
+
+// runTrace is the uncached body of RunTrace; cfg has defaults applied.
+func runTrace(cfg TraceConfig) TraceResult {
 	limit := queue.Unlimited()
 	if cfg.BufferPackets > 0 {
 		limit = queue.PacketLimit(cfg.BufferPackets)
@@ -303,7 +326,23 @@ func RunTrace(cfg TraceConfig) TraceResult {
 
 // runMixedOnce runs one mixed-traffic scenario at one buffer size, wiring
 // telemetry into reg when non-nil. cfg must already have defaults applied.
+// With cfg.Cache set the outcome is memoized, keyed on (scenario, label,
+// buffer) — RunMixed and RunAFCTComparison share entries when they lower
+// to the same point.
 func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metrics.Registry) AFCTOutcome {
+	type mixedKey struct {
+		Base   AFCTComparisonConfig
+		Label  string
+		Buffer int
+	}
+	key := mixedKey{Base: cfg, Label: label, Buffer: buffer}
+	return memoRun(cfg.Cache, "mixed", key, reg != nil || cfg.Audit != nil, func() AFCTOutcome {
+		return runMixedUncached(cfg, label, buffer, reg)
+	})
+}
+
+// runMixedUncached is the uncached body of runMixedOnce.
+func runMixedUncached(cfg AFCTComparisonConfig, label string, buffer int, reg *metrics.Registry) AFCTOutcome {
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 )
 
@@ -30,6 +31,10 @@ type BackboneConfig struct {
 	// Audit, when non-nil, runs the scenario under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the underlying runs (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c BackboneConfig) withDefaults() BackboneConfig {
@@ -98,6 +103,7 @@ func RunBackbone(cfg BackboneConfig) BackboneResult {
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Audit:          cfg.Audit,
+		Cache:          cfg.Cache,
 	})
 	res.UtilDegradation = 1 - res.Small.Utilization
 	return res

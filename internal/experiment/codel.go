@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"math"
 
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 )
 
@@ -36,6 +38,13 @@ type CoDelConfig struct {
 	// checker; the Auditor is shared across the sweep's workers (it is
 	// concurrency-safe). See LongLivedConfig.Audit.
 	Audit *audit.Auditor
+
+	// Cache memoizes each design's run; Resume continues an interrupted
+	// sweep's checkpoint; Ctx cancels between designs. See
+	// LongLivedConfig for semantics.
+	Cache  *runcache.Store
+	Resume bool
+	Ctx    context.Context
 }
 
 func (c CoDelConfig) withDefaults() CoDelConfig {
@@ -70,6 +79,7 @@ func RunCoDel(cfg CoDelConfig) CoDelTable {
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Audit:          cfg.Audit,
+		Cache:          cfg.Cache,
 	}
 	base = base.withDefaults()
 	meanRTT := (base.RTTMin + base.RTTMax) / 2
@@ -87,7 +97,14 @@ func RunCoDel(cfg CoDelConfig) CoDelTable {
 		{"codel (RTTxC capacity)", int(math.Max(1, float64(bdp))), true},
 	}
 	rows := make([]CoDelRow, len(designs))
-	parallelFor(cfg.Parallelism, len(designs), func(i int) {
+	runSweep(sweepSpec{
+		name:        "codel",
+		cfg:         cfg,
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+	}, len(designs), func(i int) {
 		run := base
 		run.BufferPackets = designs[i].buffer
 		run.UseCoDel = designs[i].codel

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 )
 
@@ -24,6 +25,10 @@ type ECNConfig struct {
 	// Audit, when non-nil, runs both arms under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the underlying runs (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c ECNConfig) withDefaults() ECNConfig {
@@ -60,6 +65,7 @@ func RunECN(cfg ECNConfig) ECNResult {
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Audit:          cfg.Audit,
+		Cache:          cfg.Cache,
 	}
 	ll = ll.withDefaults()
 	meanRTT := (ll.RTTMin + ll.RTTMax) / 2

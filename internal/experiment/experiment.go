@@ -9,6 +9,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"bufsim/internal/metrics"
 	"bufsim/internal/packet"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/stats"
 	"bufsim/internal/tcp"
@@ -80,6 +82,22 @@ type LongLivedConfig struct {
 	// multi-run driver (RunLongLivedReplicated); 0 means the machine's
 	// parallelism. A single RunLongLived is always one goroutine.
 	Parallelism int
+
+	// Cache, when non-nil, memoizes the run's result in the
+	// content-addressed run cache: a repeat run with the same semantic
+	// config replays the stored result instead of re-simulating. The
+	// cache observes only — results are bit-identical with Cache nil or
+	// set. Runs with Metrics or Audit attached always simulate (the
+	// hooks need a live run) but still warm the cache.
+	Cache *runcache.Store
+
+	// Resume, with Cache set, continues the sweep checkpoint left by an
+	// interrupted replicated run instead of starting a fresh record.
+	Resume bool
+
+	// Ctx, when non-nil, cancels a replicated sweep between points
+	// (in-flight points finish). A single RunLongLived ignores it.
+	Ctx context.Context
 }
 
 func (c LongLivedConfig) withDefaults() LongLivedConfig {
@@ -149,9 +167,19 @@ func redQueueHook(bufferPkts int, segment units.ByteSize, rate units.BitRate, re
 	}
 }
 
-// RunLongLived executes one long-lived-flow scenario.
+// RunLongLived executes one long-lived-flow scenario. With cfg.Cache
+// set, a previously computed result for the same semantic config is
+// replayed from the cache instead of re-simulated.
 func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 	cfg = cfg.withDefaults()
+	return memoRun(cfg.Cache, "long-lived", cfg, cfg.Metrics != nil || cfg.Audit != nil, func() LongLivedResult {
+		return runLongLived(cfg)
+	})
+}
+
+// runLongLived is the uncached body of RunLongLived; cfg has defaults
+// applied.
+func runLongLived(cfg LongLivedConfig) LongLivedResult {
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
@@ -292,15 +320,28 @@ type ReplicatedResult struct {
 
 // RunLongLivedReplicated runs the scenario under k different seeds
 // (cfg.Seed, cfg.Seed+1, ...) and reports utilization statistics — the
-// error bars the single-run drivers omit. Replicas run in parallel.
+// error bars the single-run drivers omit. Replicas run through the
+// sweep orchestrator: in parallel, cached per seed, and checkpointed.
 func RunLongLivedReplicated(cfg LongLivedConfig, k int) ReplicatedResult {
 	if k <= 0 {
 		panic(fmt.Sprintf("experiment: replicas = %d", k))
 	}
 	utils := make([]float64, k)
-	parallelFor(cfg.Parallelism, k, func(i int) {
+	runSweep(sweepSpec{
+		name: "replicated",
+		cfg: struct {
+			Base LongLivedConfig
+			K    int
+		}{cfg, k},
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+		metrics:     cfg.Metrics,
+	}, k, func(i int) {
 		run := cfg
 		run.Seed = cfg.Seed + int64(i)
+		run.Metrics = nil // per-replica telemetry would race; stats go to cfg.Metrics post-sweep
 		utils[i] = RunLongLived(run).Utilization
 	})
 	var w stats.Welford

@@ -5,6 +5,7 @@ import (
 
 	"bufsim/internal/audit"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -38,6 +39,12 @@ type HarpoonConfig struct {
 	// Audit, when non-nil, runs both phases under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes each phase's run keyed on the
+	// buffer limit, so calibration and per-factor points are shared
+	// across runs that sweep different factor lists (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c HarpoonConfig) withDefaults() HarpoonConfig {
@@ -96,9 +103,30 @@ type HarpoonResult struct {
 	Rows        []HarpoonRow
 }
 
-// runHarpoonOnce runs the session workload against one buffer limit and
-// returns utilization, mean active flows, and completed transfers.
-func runHarpoonOnce(cfg HarpoonConfig, limit queue.Limit) (util, meanActive float64, transfers int64) {
+// harpoonRun is the cacheable outcome of one session-workload run.
+type harpoonRun struct {
+	Util       float64
+	MeanActive float64
+	Transfers  int64
+}
+
+// runHarpoonOnce runs the session workload against one packet-buffer
+// limit. With cfg.Cache set the run is memoized under a key of the config
+// (Factors cleared — they only pick which buffers run) plus the buffer.
+func runHarpoonOnce(cfg HarpoonConfig, buffer int) harpoonRun {
+	cfgKey := cfg
+	cfgKey.Factors = nil
+	key := struct {
+		Base   HarpoonConfig
+		Buffer int
+	}{cfgKey, buffer}
+	return memoRun(cfg.Cache, "harpoon-run", key, cfg.Audit != nil, func() harpoonRun {
+		return runHarpoonUncached(cfg, queue.PacketLimit(buffer))
+	})
+}
+
+// runHarpoonUncached is the uncached body of runHarpoonOnce.
+func runHarpoonUncached(cfg HarpoonConfig, limit queue.Limit) harpoonRun {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 	stations := cfg.Sessions
@@ -137,13 +165,18 @@ func runHarpoonOnce(cfg HarpoonConfig, limit queue.Limit) (util, meanActive floa
 	sched.Run(end)
 
 	series := active.Series().Window(cfg.Warmup.Seconds(), units.Duration(end).Seconds())
+	var meanActive float64
 	for _, v := range series.Values {
 		meanActive += v
 	}
 	if series.Len() > 0 {
 		meanActive /= float64(series.Len())
 	}
-	return d.Bottleneck.Utilization(busy, warmEnd), meanActive, g.Transfers - t0
+	return harpoonRun{
+		Util:       d.Bottleneck.Utilization(busy, warmEnd),
+		MeanActive: meanActive,
+		Transfers:  g.Transfers - t0,
+	}
 }
 
 // RunHarpoon executes the two-phase experiment.
@@ -154,8 +187,8 @@ func RunHarpoon(cfg HarpoonConfig) HarpoonResult {
 
 	// Phase 1: calibrate the concurrent-flow equilibrium with an ample
 	// buffer (1x BDP, the rule-of-thumb).
-	_, meanActive, _ := runHarpoonOnce(cfg, queue.PacketLimit(int(bdp)))
-	n := int(math.Max(1, math.Round(meanActive)))
+	calib := runHarpoonOnce(cfg, int(bdp))
+	n := int(math.Max(1, math.Round(calib.MeanActive)))
 
 	res := HarpoonResult{
 		CalibratedN: n,
@@ -163,13 +196,13 @@ func RunHarpoon(cfg HarpoonConfig) HarpoonResult {
 	}
 	for _, f := range cfg.Factors {
 		buffer := int(math.Max(1, f*float64(res.SqrtRule)))
-		util, active, transfers := runHarpoonOnce(cfg, queue.PacketLimit(buffer))
+		run := runHarpoonOnce(cfg, buffer)
 		res.Rows = append(res.Rows, HarpoonRow{
 			Factor:      f,
 			Buffer:      buffer,
-			Utilization: util,
-			MeanActive:  active,
-			Transfers:   transfers,
+			Utilization: run.Util,
+			MeanActive:  run.MeanActive,
+			Transfers:   run.Transfers,
 		})
 	}
 	return res

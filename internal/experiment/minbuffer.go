@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 )
 
@@ -36,6 +38,13 @@ type MinBufferConfig struct {
 	// conservation-law checker; the Auditor is shared across the sweep's
 	// workers (it is concurrency-safe). See LongLivedConfig.Audit.
 	Audit *audit.Auditor
+
+	// Cache memoizes each ladder probe; Resume continues an interrupted
+	// sweep's checkpoint; Ctx cancels between probes. See
+	// LongLivedConfig for semantics.
+	Cache  *runcache.Store
+	Resume bool
+	Ctx    context.Context
 }
 
 func (c MinBufferConfig) withDefaults() MinBufferConfig {
@@ -109,34 +118,62 @@ func RunMinBufferSweep(cfg MinBufferConfig) MinBufferResult {
 
 	var res MinBufferResult
 	res.BDPPackets = bdp
-	for _, n := range cfg.Ns {
-		sqrtRule := SqrtRuleBuffer(float64(bdp), n)
-		ladder := bufferLadder(sqrtRule, cfg.LadderPoints)
-		utils := make([]float64, len(ladder))
-		n := n
-		parallelFor(cfg.Parallelism, len(ladder), func(i int) {
-			r := RunLongLived(LongLivedConfig{
-				Seed:            cfg.Seed + int64(n)*1000 + int64(i),
-				N:               n,
-				BottleneckRate:  cfg.BottleneckRate,
-				BottleneckDelay: cfg.BottleneckDelay,
-				RTTMin:          cfg.RTTMin,
-				RTTMax:          cfg.RTTMax,
-				SegmentSize:     cfg.SegmentSize,
-				BufferPackets:   ladder[i],
-				Warmup:          cfg.Warmup,
-				Measure:         cfg.Measure,
-				Audit:           cfg.Audit,
-			})
-			utils[i] = r.Utilization
+
+	// Flatten every (n, ladder rung) probe into one work list so the
+	// orchestrator sweeps, caches and checkpoints them uniformly.
+	type probe struct {
+		nIdx, rung int
+		buffer     int
+	}
+	ladders := make([][]int, len(cfg.Ns))
+	var probes []probe
+	for ni, n := range cfg.Ns {
+		ladders[ni] = bufferLadder(SqrtRuleBuffer(float64(bdp), n), cfg.LadderPoints)
+		for i, b := range ladders[ni] {
+			probes = append(probes, probe{nIdx: ni, rung: i, buffer: b})
+		}
+	}
+	utils := make([][]float64, len(cfg.Ns))
+	for ni := range utils {
+		utils[ni] = make([]float64, len(ladders[ni]))
+	}
+	runSweep(sweepSpec{
+		name:        "min-buffer",
+		cfg:         cfg,
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+	}, len(probes), func(k int) {
+		p := probes[k]
+		n := cfg.Ns[p.nIdx]
+		r := RunLongLived(LongLivedConfig{
+			Seed:            cfg.Seed + int64(n)*1000 + int64(p.rung),
+			N:               n,
+			BottleneckRate:  cfg.BottleneckRate,
+			BottleneckDelay: cfg.BottleneckDelay,
+			RTTMin:          cfg.RTTMin,
+			RTTMax:          cfg.RTTMax,
+			SegmentSize:     cfg.SegmentSize,
+			BufferPackets:   p.buffer,
+			Warmup:          cfg.Warmup,
+			Measure:         cfg.Measure,
+			Audit:           cfg.Audit,
+			Cache:           cfg.Cache,
 		})
+		utils[p.nIdx][p.rung] = r.Utilization
+	})
+	for ni, n := range cfg.Ns {
+		sqrtRule := SqrtRuleBuffer(float64(bdp), n)
+		ladder := ladders[ni]
+		nUtils := utils[ni]
 		for i, b := range ladder {
-			res.Ladder = append(res.Ladder, LadderSample{N: n, Buffer: b, Utilization: utils[i]})
+			res.Ladder = append(res.Ladder, LadderSample{N: n, Buffer: b, Utilization: nUtils[i]})
 		}
 		for _, target := range cfg.Targets {
 			point := MinBufferPoint{N: n, Target: target, SqrtRule: sqrtRule, MinBuffer: ladder[len(ladder)-1]}
-			point.Achieved = utils[len(utils)-1]
-			for i, u := range utils {
+			point.Achieved = nUtils[len(nUtils)-1]
+			for i, u := range nUtils {
 				if u >= target {
 					point.MinBuffer = ladder[i]
 					point.Achieved = u

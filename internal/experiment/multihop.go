@@ -3,6 +3,7 @@ package experiment
 import (
 	"bufsim/internal/audit"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -31,6 +32,10 @@ type MultiHopConfig struct {
 	// Audit, when non-nil, runs the chain under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the result (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c MultiHopConfig) withDefaults() MultiHopConfig {
@@ -73,9 +78,18 @@ type MultiHopResult struct {
 	CrossingShare float64
 }
 
-// RunMultiHop executes the two-bottleneck scenario.
+// RunMultiHop executes the two-bottleneck scenario. With cfg.Cache set
+// the result is memoized.
 func RunMultiHop(cfg MultiHopConfig) MultiHopResult {
 	cfg = cfg.withDefaults()
+	return memoRun(cfg.Cache, "multihop", cfg, cfg.Audit != nil, func() MultiHopResult {
+		return runMultiHop(cfg)
+	})
+}
+
+// runMultiHop is the uncached body of RunMultiHop; cfg has defaults
+// applied.
+func runMultiHop(cfg MultiHopConfig) MultiHopResult {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 

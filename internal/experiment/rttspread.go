@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"math"
 
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 )
 
@@ -34,6 +36,13 @@ type RTTSpreadConfig struct {
 	// checker; the Auditor is shared across the sweep's workers (it is
 	// concurrency-safe). See LongLivedConfig.Audit.
 	Audit *audit.Auditor
+
+	// Cache memoizes each spread's two runs (window distribution and
+	// long-lived); Resume continues an interrupted sweep's checkpoint;
+	// Ctx cancels between spreads. See LongLivedConfig for semantics.
+	Cache  *runcache.Store
+	Resume bool
+	Ctx    context.Context
 }
 
 func (c RTTSpreadConfig) withDefaults() RTTSpreadConfig {
@@ -76,7 +85,14 @@ func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 	buffer := int(math.Max(1, cfg.BufferFactor*float64(SqrtRuleBuffer(bdp, cfg.N))))
 
 	out := make([]RTTSpreadPoint, len(cfg.Spreads))
-	parallelFor(cfg.Parallelism, len(cfg.Spreads), func(i int) {
+	runSweep(sweepSpec{
+		name:        "rtt-spread",
+		cfg:         cfg,
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+	}, len(cfg.Spreads), func(i int) {
 		spread := cfg.Spreads[i]
 		// RunWindowDist gives both the utilization inputs and the
 		// aggregate-window moments; rebuild its scenario with this
@@ -93,6 +109,7 @@ func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
 			Audit:           cfg.Audit,
+			Cache:           cfg.Cache,
 		})
 		cov := 0.0
 		if wd.Mean > 0 {
@@ -109,6 +126,7 @@ func RunRTTSpread(cfg RTTSpreadConfig) RTTSpreadTable {
 			Warmup:         cfg.Warmup,
 			Measure:        cfg.Measure,
 			Audit:          cfg.Audit,
+			Cache:          cfg.Cache,
 		})
 		out[i] = RTTSpreadPoint{
 			Spread:      spread,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"bufsim/internal/metrics"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -55,6 +57,14 @@ type ShortFlowBufferConfig struct {
 	// checker; the Auditor is shared across the sweep's workers (it is
 	// concurrency-safe). See LongLivedConfig.Audit.
 	Audit *audit.Auditor
+
+	// Cache memoizes every probe the bisection makes (baseline and each
+	// bisection step), so a resumed or repeated sweep replays the search
+	// from cache; Resume continues an interrupted sweep's checkpoint;
+	// Ctx cancels between points. See LongLivedConfig for semantics.
+	Cache  *runcache.Store
+	Resume bool
+	Ctx    context.Context
 }
 
 func (c ShortFlowBufferConfig) withDefaults() ShortFlowBufferConfig {
@@ -145,6 +155,10 @@ type ShortFlowRunConfig struct {
 	// Audit, when non-nil, runs the scenario under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the run's (AFCT, completed,
+	// censored) outcome (see LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c ShortFlowRunConfig) withDefaults() ShortFlowRunConfig {
@@ -169,12 +183,29 @@ func (c ShortFlowRunConfig) withDefaults() ShortFlowRunConfig {
 	return c
 }
 
+// shortFlowOutcome is the cacheable result of one short-flow run.
+type shortFlowOutcome struct {
+	AFCT      units.Duration
+	Completed int
+	Censored  int
+}
+
 // ShortFlowAFCT runs one short-flow scenario and returns the average flow
 // completion time over the measurement window, the number of completed
 // flows, and the number censored (started in the window, unfinished after
-// the drain period).
+// the drain period). With cfg.Cache set the outcome is memoized.
 func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 	cfg = cfg.withDefaults()
+	out := memoRun(cfg.Cache, "short-flow", cfg, cfg.Metrics != nil || cfg.Audit != nil, func() shortFlowOutcome {
+		afct, completed, censored := runShortFlowAFCT(cfg)
+		return shortFlowOutcome{AFCT: afct, Completed: completed, Censored: censored}
+	})
+	return out.AFCT, out.Completed, out.Censored
+}
+
+// runShortFlowAFCT is the uncached body of ShortFlowAFCT; cfg has
+// defaults applied.
+func runShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
@@ -237,6 +268,7 @@ func shortFlowAFCT(cfg ShortFlowBufferConfig, rate units.BitRate, flowLen int64,
 		Measure:     cfg.Measure,
 		Metrics:     reg,
 		Audit:       cfg.Audit,
+		Cache:       cfg.Cache,
 	}
 	if buffer.Packets > 0 {
 		run.BufferPackets = buffer.Packets
@@ -261,7 +293,15 @@ func RunShortFlowBuffer(cfg ShortFlowBufferConfig) ShortFlowBufferTable {
 		}
 	}
 	out := make([]ShortFlowBufferPoint, len(tasks))
-	parallelFor(cfg.Parallelism, len(tasks), func(k int) {
+	runSweep(sweepSpec{
+		name:        "short-flow-buffer",
+		cfg:         cfg,
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+		metrics:     cfg.Metrics,
+	}, len(tasks), func(k int) {
 		rate, flowLen := tasks[k].rate, tasks[k].flowLen
 		moments := model.MomentsForFlowLength(flowLen, 2, cfg.MaxWindow)
 		modelBuf := moments.MinBuffer(cfg.Load, cfg.ModelDropProb)
@@ -303,6 +343,9 @@ func RunShortFlowBuffer(cfg ShortFlowBufferConfig) ShortFlowBufferTable {
 		// Points stay byte-identical because the searched runs above never
 		// see a registry.
 		for _, p := range out {
+			if p.MinBuffer == 0 {
+				continue // point never ran (cancelled sweep)
+			}
 			child := metrics.New()
 			shortFlowAFCT(cfg, p.Rate, p.FlowLen, queue.PacketLimit(p.MinBuffer), child)
 			cfg.Metrics.Merge(fmt.Sprintf("rate=%s,len=%d", p.Rate, p.FlowLen), child)

@@ -6,6 +6,7 @@ import (
 	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -50,6 +51,10 @@ type SingleFlowConfig struct {
 	// Audit, when non-nil, runs the scenario under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the result, time series included
+	// (see LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c SingleFlowConfig) withDefaults() SingleFlowConfig {
@@ -92,9 +97,18 @@ type SingleFlowResult struct {
 	Queue         *trace.Series
 }
 
-// RunSingleFlow executes the Fig. 2–5 scenario.
+// RunSingleFlow executes the Fig. 2–5 scenario. With cfg.Cache set the
+// result is memoized.
 func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 	cfg = cfg.withDefaults()
+	return memoRun(cfg.Cache, "single-flow", cfg, cfg.Metrics != nil || cfg.Audit != nil, func() SingleFlowResult {
+		return runSingleFlow(cfg)
+	})
+}
+
+// runSingleFlow is the uncached body of RunSingleFlow; cfg has defaults
+// applied.
+func runSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	bdp := units.PacketsInFlight(cfg.BottleneckRate, cfg.RTT, cfg.SegmentSize)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 )
 
@@ -31,6 +32,10 @@ type SyncConfig struct {
 	// Audit, when non-nil, runs every point under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the underlying runs (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c SyncConfig) withDefaults() SyncConfig {
@@ -77,6 +82,7 @@ func RunSyncAblation(cfg SyncConfig) SyncTable {
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
 			Audit:           cfg.Audit,
+			Cache:           cfg.Cache,
 		})
 		cov := 0.0
 		if r.Mean > 0 {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"bufsim/internal/metrics"
 	"bufsim/internal/model"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
@@ -50,6 +52,13 @@ type UtilizationTableConfig struct {
 	// checker; the Auditor is shared across the sweep's workers (it is
 	// concurrency-safe). See LongLivedConfig.Audit.
 	Audit *audit.Auditor
+
+	// Cache memoizes each cell's run; Resume continues an interrupted
+	// sweep's checkpoint; Ctx cancels the sweep between cells. See
+	// LongLivedConfig for semantics.
+	Cache  *runcache.Store
+	Resume bool
+	Ctx    context.Context
 }
 
 func (c UtilizationTableConfig) withDefaults() UtilizationTableConfig {
@@ -116,7 +125,15 @@ func RunUtilizationTable(cfg UtilizationTableConfig) UtilizationTable {
 			cellRegs[k] = metrics.New()
 		}
 	}
-	parallelFor(cfg.Parallelism, len(cells), func(k int) {
+	runSweep(sweepSpec{
+		name:        "utilization-table",
+		cfg:         cfg,
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+		metrics:     cfg.Metrics,
+	}, len(cells), func(k int) {
 		n := cfg.Ns[cells[k].n]
 		factor := cfg.Factors[cells[k].factorIdx]
 		gauss := model.LongFlowGaussian{N: n, BDP: float64(bdp)}
@@ -135,6 +152,7 @@ func RunUtilizationTable(cfg UtilizationTableConfig) UtilizationTable {
 			Warmup:          cfg.Warmup,
 			Measure:         cfg.Measure,
 			Audit:           cfg.Audit,
+			Cache:           cfg.Cache,
 		}
 		if cellRegs != nil {
 			run.Metrics = cellRegs[k]
@@ -149,6 +167,9 @@ func RunUtilizationTable(cfg UtilizationTableConfig) UtilizationTable {
 		}
 	})
 	for k := range cellRegs {
+		if rows[k].N == 0 {
+			continue // cell never ran (cancelled sweep)
+		}
 		cfg.Metrics.Merge(fmt.Sprintf("n=%d,factor=%g", rows[k].N, rows[k].Factor), cellRegs[k])
 	}
 	return rows
@@ -179,6 +200,18 @@ type ProductionConfig struct {
 	// Audit, when non-nil, runs every buffer point under the
 	// conservation-law checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Parallelism bounds how many buffer points simulate at once; 0
+	// means the machine's parallelism. Points are independent
+	// simulations, so rows are identical at any setting.
+	Parallelism int
+
+	// Cache memoizes each buffer point; Resume continues an interrupted
+	// sweep's checkpoint; Ctx cancels between points. See
+	// LongLivedConfig for semantics.
+	Cache  *runcache.Store
+	Resume bool
+	Ctx    context.Context
 }
 
 func (c ProductionConfig) withDefaults() ProductionConfig {
@@ -235,8 +268,30 @@ func RunProduction(cfg ProductionConfig) ProductionTable {
 	meanRTT := (cfg.RTTMin + cfg.RTTMax) / 2
 	bdp := float64(units.PacketsInFlight(cfg.BottleneckRate, meanRTT, cfg.SegmentSize))
 
-	var rows ProductionTable
-	for _, buffer := range cfg.Buffers {
+	rows := make(ProductionTable, len(cfg.Buffers))
+	runSweep(sweepSpec{
+		name:        "production",
+		cfg:         cfg,
+		cache:       cfg.Cache,
+		resume:      cfg.Resume,
+		ctx:         cfg.Ctx,
+		parallelism: cfg.Parallelism,
+	}, len(cfg.Buffers), func(bi int) {
+		buffer := cfg.Buffers[bi]
+		// The per-point key is the config narrowed to this one buffer,
+		// so the same point is shared across different Buffers lists.
+		cfgKey := cfg
+		cfgKey.Buffers = []int{buffer}
+		rows[bi] = memoRun(cfg.Cache, "production", cfgKey, cfg.Audit != nil, func() ProductionRow {
+			return runProductionPoint(cfg, buffer, bdp)
+		})
+	})
+	return rows
+}
+
+// runProductionPoint simulates one Fig. 11 buffer point.
+func runProductionPoint(cfg ProductionConfig, buffer int, bdp float64) ProductionRow {
+	{
 		sched := sim.NewScheduler()
 		rng := sim.NewRNG(cfg.Seed)
 		d := topology.NewDumbbell(topology.Config{
@@ -285,7 +340,7 @@ func RunProduction(cfg ProductionConfig) ProductionTable {
 
 		effN := int(math.Max(1, meanConc))
 		gauss := model.LongFlowGaussian{N: effN, BDP: bdp}
-		rows = append(rows, ProductionRow{
+		return ProductionRow{
 			Buffer:          buffer,
 			SqrtRuleRatio:   float64(buffer) / (bdp / math.Sqrt(float64(effN))),
 			Utilization:     util,
@@ -293,7 +348,6 @@ func RunProduction(cfg ProductionConfig) ProductionTable {
 			MeanConcurrent:  meanConc,
 			AFCT:            afct,
 			ShortsCompleted: completed,
-		})
+		}
 	}
-	return rows
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bufsim/internal/audit"
+	"bufsim/internal/runcache"
 	"bufsim/internal/tcp"
 	"bufsim/internal/units"
 )
@@ -27,6 +28,10 @@ type VariantConfig struct {
 	// Audit, when non-nil, runs every variant under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the underlying runs (see
+	// LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c VariantConfig) withDefaults() VariantConfig {
@@ -67,6 +72,7 @@ func RunVariantAblation(cfg VariantConfig) VariantTable {
 		Warmup:         cfg.Warmup,
 		Measure:        cfg.Measure,
 		Audit:          cfg.Audit,
+		Cache:          cfg.Cache,
 	}
 	ll = ll.withDefaults()
 	meanRTT := (ll.RTTMin + ll.RTTMax) / 2

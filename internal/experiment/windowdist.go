@@ -5,6 +5,7 @@ import (
 
 	"bufsim/internal/audit"
 	"bufsim/internal/queue"
+	"bufsim/internal/runcache"
 	"bufsim/internal/sim"
 	"bufsim/internal/stats"
 	"bufsim/internal/tcp"
@@ -33,6 +34,10 @@ type WindowDistConfig struct {
 	// Audit, when non-nil, runs the scenario under the conservation-law
 	// checker (see LongLivedConfig.Audit).
 	Audit *audit.Auditor
+
+	// Cache, when non-nil, memoizes the result, samples and histogram
+	// included (see LongLivedConfig.Cache).
+	Cache *runcache.Store
 }
 
 func (c WindowDistConfig) withDefaults() WindowDistConfig {
@@ -85,9 +90,18 @@ type WindowDistResult struct {
 	Histogram *stats.Histogram
 }
 
-// RunWindowDist executes the Fig. 6 scenario.
+// RunWindowDist executes the Fig. 6 scenario. With cfg.Cache set the
+// result is memoized.
 func RunWindowDist(cfg WindowDistConfig) WindowDistResult {
 	cfg = cfg.withDefaults()
+	return memoRun(cfg.Cache, "window-dist", cfg, cfg.Audit != nil, func() WindowDistResult {
+		return runWindowDist(cfg)
+	})
+}
+
+// runWindowDist is the uncached body of RunWindowDist; cfg has defaults
+// applied.
+func runWindowDist(cfg WindowDistConfig) WindowDistResult {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 

@@ -1,0 +1,143 @@
+package runcache
+
+import "testing"
+
+// abOrder and baOrder declare the same fields in opposite source order;
+// the canonical digest must not see the difference.
+type abOrder struct {
+	Alpha int
+	Beta  string
+	Gamma float64
+}
+
+type baOrder struct {
+	Gamma float64
+	Beta  string
+	Alpha int
+}
+
+func TestKeyFieldOrderIndependence(t *testing.T) {
+	a := Key("s", "k", abOrder{Alpha: 3, Beta: "x", Gamma: 1.5})
+	b := Key("s", "k", baOrder{Alpha: 3, Beta: "x", Gamma: 1.5})
+	if a != b {
+		t.Fatalf("field order changed the digest: %s vs %s", a, b)
+	}
+}
+
+func TestKeyZeroValueVsAbsent(t *testing.T) {
+	type opt struct {
+		N     int
+		Tags  []string
+		Extra map[string]int
+		Ptr   *int
+	}
+	// nil slice/map/pointer must digest like their empty/zero forms,
+	// so "option not set" and "option explicitly zero" share an entry.
+	zero := Key("s", "k", opt{})
+	explicit := Key("s", "k", opt{Tags: []string{}, Extra: map[string]int{}})
+	if zero != explicit {
+		t.Fatalf("nil vs empty collections changed the digest")
+	}
+	v := 0
+	if Key("s", "k", opt{Ptr: &v}) != zero {
+		t.Fatalf("pointer to zero should digest like the zero value")
+	}
+	v = 7
+	if Key("s", "k", opt{Ptr: &v}) == zero {
+		t.Fatalf("pointer to non-zero must change the digest")
+	}
+}
+
+func TestKeySemanticFieldsChangeDigest(t *testing.T) {
+	type cfg struct {
+		Seed  int64
+		Rate  float64
+		Label string
+		On    bool
+		List  []int
+	}
+	base := cfg{Seed: 1, Rate: 2.5, Label: "a", On: false, List: []int{1, 2}}
+	want := Key("s", "k", base)
+	perturbed := []cfg{
+		{Seed: 2, Rate: 2.5, Label: "a", List: []int{1, 2}},
+		{Seed: 1, Rate: 2.6, Label: "a", List: []int{1, 2}},
+		{Seed: 1, Rate: 2.5, Label: "b", List: []int{1, 2}},
+		{Seed: 1, Rate: 2.5, Label: "a", On: true, List: []int{1, 2}},
+		{Seed: 1, Rate: 2.5, Label: "a", List: []int{1, 3}},
+		{Seed: 1, Rate: 2.5, Label: "a", List: []int{1, 2, 3}},
+	}
+	for i, p := range perturbed {
+		if Key("s", "k", p) == want {
+			t.Errorf("perturbation %d did not change the digest: %+v", i, p)
+		}
+	}
+}
+
+func TestKeySaltAndKindChangeDigest(t *testing.T) {
+	cfg := abOrder{Alpha: 1}
+	base := Key("s1", "k1", cfg)
+	if Key("s2", "k1", cfg) == base {
+		t.Fatalf("salt did not change the digest")
+	}
+	if Key("s1", "k2", cfg) == base {
+		t.Fatalf("kind did not change the digest")
+	}
+}
+
+type sizer interface{ Mean() float64 }
+
+type fixedSizer float64
+type geomSizer float64
+
+func (f fixedSizer) Mean() float64 { return float64(f) }
+func (g geomSizer) Mean() float64  { return float64(g) }
+
+func TestKeyInterfaceConcreteType(t *testing.T) {
+	type cfg struct{ Dist sizer }
+	a := Key("s", "k", cfg{Dist: fixedSizer(4)})
+	b := Key("s", "k", cfg{Dist: geomSizer(4)})
+	if a == b {
+		t.Fatalf("different concrete types behind an interface digested identically")
+	}
+	if Key("s", "k", cfg{Dist: fixedSizer(4)}) != a {
+		t.Fatalf("digest not deterministic for interface values")
+	}
+	if Key("s", "k", cfg{}) == a {
+		t.Fatalf("nil interface digested like a concrete value")
+	}
+}
+
+func TestKeyIgnoreFields(t *testing.T) {
+	type cfg struct {
+		Seed        int64
+		Parallelism int
+	}
+	ignore := IgnoreFields("Parallelism")
+	a := Key("s", "k", cfg{Seed: 1, Parallelism: 0}, ignore)
+	b := Key("s", "k", cfg{Seed: 1, Parallelism: 16}, ignore)
+	if a != b {
+		t.Fatalf("ignored field changed the digest")
+	}
+	if Key("s", "k", cfg{Seed: 2}, ignore) == a {
+		t.Fatalf("semantic field no longer changes the digest")
+	}
+}
+
+func TestKeyMapOrderIndependence(t *testing.T) {
+	type cfg struct{ M map[string]int }
+	a := Key("s", "k", cfg{M: map[string]int{"x": 1, "y": 2, "z": 3}})
+	for i := 0; i < 10; i++ {
+		if Key("s", "k", cfg{M: map[string]int{"z": 3, "y": 2, "x": 1}}) != a {
+			t.Fatalf("map iteration order leaked into the digest")
+		}
+	}
+}
+
+func TestKeyUnsupportedKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic digesting a func-typed slice element")
+		}
+	}()
+	Key("s", "k", []func(){func() {}})
+}

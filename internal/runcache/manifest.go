@@ -1,0 +1,187 @@
+package runcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SweepManifest checkpoints the progress of one sweep: which point
+// indices have completed. The orchestrator writes it after every
+// finished point, so an interrupted sweep restarted with Resume can
+// report how far the previous run got (the results themselves come back
+// via cache hits — the manifest is progress metadata, not data).
+//
+// A nil *SweepManifest is valid and inert, so callers without a cache
+// need no branches.
+type SweepManifest struct {
+	store *Store
+	path  string
+
+	mu    sync.Mutex
+	state sweepState
+}
+
+type sweepState struct {
+	Name     string `json:"name"`
+	Key      string `json:"key"`
+	Total    int    `json:"total"`
+	Done     []int  `json:"done"`
+	Complete bool   `json:"complete"`
+}
+
+// Sweep opens the progress manifest for the sweep identified by key
+// (the digest of the sweep-level config). With resume set, an existing
+// manifest for the same key and total is continued; otherwise the
+// record restarts from zero.
+func (s *Store) Sweep(name, key string, total int, resume bool) *SweepManifest {
+	if s == nil {
+		return nil
+	}
+	m := &SweepManifest{
+		store: s,
+		path:  filepath.Join(s.dir, "sweeps", key+".json"),
+		state: sweepState{Name: name, Key: key, Total: total},
+	}
+	if resume {
+		var prev sweepState
+		if b, err := os.ReadFile(m.path); err == nil && json.Unmarshal(b, &prev) == nil &&
+			prev.Key == key && prev.Total == total {
+			m.state = prev
+		}
+	}
+	return m
+}
+
+// DoneCount returns how many points the manifest records as completed.
+func (m *SweepManifest) DoneCount() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.state.Done)
+}
+
+// MarkDone records point i as completed and checkpoints to disk.
+func (m *SweepManifest) MarkDone(i int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.state.Done {
+		if d == i {
+			return
+		}
+	}
+	m.state.Done = append(m.state.Done, i)
+	sort.Ints(m.state.Done)
+	m.flushLocked()
+}
+
+// Finish marks the sweep complete and writes the final state.
+func (m *SweepManifest) Finish() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state.Complete = true
+	m.flushLocked()
+}
+
+func (m *SweepManifest) flushLocked() {
+	b, err := json.Marshal(m.state)
+	if err != nil {
+		return
+	}
+	// Checkpointing is best-effort: a failed write only costs resume
+	// granularity, never correctness.
+	m.store.writeAtomic(m.path, b)
+}
+
+// RunManifest checkpoints a CLI-level run (e.g. `paperexp -exp all`):
+// which experiment ids finished. A resumed identical invocation skips
+// completed experiments outright. Finish removes the record, so a
+// successful run leaves nothing to resume.
+type RunManifest struct {
+	store *Store
+	path  string
+
+	mu    sync.Mutex
+	state runState
+}
+
+type runState struct {
+	Key  string   `json:"key"`
+	Done []string `json:"done"`
+}
+
+// Run opens the manifest for the CLI run identified by key (a digest of
+// the invocation: experiment ids, quick flag, seed). Without resume any
+// previous record for the key is discarded.
+func (s *Store) Run(key string, resume bool) *RunManifest {
+	if s == nil {
+		return nil
+	}
+	m := &RunManifest{
+		store: s,
+		path:  filepath.Join(s.dir, "runs", key+".json"),
+		state: runState{Key: key},
+	}
+	if resume {
+		var prev runState
+		if b, err := os.ReadFile(m.path); err == nil && json.Unmarshal(b, &prev) == nil && prev.Key == key {
+			m.state = prev
+		}
+	}
+	return m
+}
+
+// IsDone reports whether id completed in the run being resumed.
+func (m *RunManifest) IsDone(id string) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.state.Done {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDone records id as completed and checkpoints to disk.
+func (m *RunManifest) MarkDone(id string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.state.Done {
+		if d == id {
+			return
+		}
+	}
+	m.state.Done = append(m.state.Done, id)
+	b, err := json.Marshal(m.state)
+	if err != nil {
+		return
+	}
+	m.store.writeAtomic(m.path, b)
+}
+
+// Finish deletes the record: the run completed, nothing to resume.
+func (m *RunManifest) Finish() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	os.Remove(m.path)
+}

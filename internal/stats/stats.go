@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -176,6 +177,34 @@ func (h *Histogram) NumBins() int { return len(h.bins) }
 
 // OutOfRange returns the counts below lo and at-or-above hi.
 func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// histogramJSON is the serialized form of a Histogram. The fields are
+// unexported in Histogram to keep Add the only mutation path, but
+// results embedding a histogram must survive a JSON round trip so the
+// run cache can replay them bit-identically.
+type histogramJSON struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Bins  []int64 `json:"bins"`
+	N     int64   `json:"n"`
+	Under int64   `json:"under"`
+	Over  int64   `json:"over"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Lo: h.lo, Hi: h.hi, Bins: h.bins, N: h.n, Under: h.under, Over: h.over})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	h.lo, h.hi, h.bins, h.n, h.under, h.over = j.Lo, j.Hi, j.Bins, j.N, j.Under, j.Over
+	return nil
+}
 
 // Density returns bin i's probability density (count / (N * binwidth)).
 func (h *Histogram) Density(i int) float64 {

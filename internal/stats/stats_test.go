@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -285,5 +286,36 @@ func TestCoV(t *testing.T) {
 	var zero Welford
 	if zero.CoV() != 0 {
 		t.Error("CoV of empty should be 0")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0.5, 3.2, 3.3, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != h.N() || got.NumBins() != h.NumBins() {
+		t.Fatalf("round trip changed shape: %d/%d bins, %d/%d obs",
+			got.NumBins(), h.NumBins(), got.N(), h.N())
+	}
+	gu, go_ := got.OutOfRange()
+	hu, ho := h.OutOfRange()
+	if gu != hu || go_ != ho {
+		t.Fatalf("out-of-range counts changed: (%d,%d) vs (%d,%d)", gu, go_, hu, ho)
+	}
+	for i := 0; i < h.NumBins(); i++ {
+		gc, gn := got.Bin(i)
+		hc, hn := h.Bin(i)
+		if gc != hc || gn != hn {
+			t.Fatalf("bin %d changed: (%v,%d) vs (%v,%d)", i, gc, gn, hc, hn)
+		}
 	}
 }

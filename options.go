@@ -1,8 +1,12 @@
 package bufsim
 
 import (
+	"fmt"
+	"sync"
+
 	"bufsim/internal/audit"
 	"bufsim/internal/metrics"
+	"bufsim/internal/runcache"
 )
 
 // Registry collects simulator telemetry: counters, gauges and histograms
@@ -32,6 +36,23 @@ type Violation = audit.Violation
 // by default they accumulate for inspection after the run.
 func NewAuditor(opts ...audit.Option) *Auditor { return audit.New(opts...) }
 
+// Cache is a content-addressed store of simulation results, keyed by a
+// canonical digest of the run's full configuration. Attach one with
+// WithCache or WithCacheStore: a run whose exact configuration has been
+// simulated before returns the stored result instead of simulating
+// again; a cold run simulates and stores. The cache only observes —
+// cached and fresh results are bit-identical — and entries never expire:
+// they are invalidated wholesale when the simulator's digest salt
+// changes (see internal/runcache).
+type Cache = runcache.Store
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) { return runcache.Open(dir) }
+
+// openedCaches dedupes WithCache stores per directory so repeated calls
+// share hit/miss statistics and a single failure mode.
+var openedCaches sync.Map // dir -> *Cache
+
 // Option adjusts a Simulate* run beyond what its configuration struct
 // carries. Options always win over the corresponding config field, so
 // callers can hold one base config and vary a switch per run:
@@ -50,6 +71,7 @@ type options struct {
 	metrics     *Registry
 	parallelism *int
 	audit       *Auditor
+	cache       *Cache
 }
 
 func applyOptions(opts []Option) options {
@@ -114,4 +136,35 @@ func WithMetrics(reg *Registry) Option {
 // it is concurrency-safe.
 func WithAudit(aud *Auditor) Option {
 	return func(o *options) { o.audit = aud }
+}
+
+// WithCache memoizes the run in a content-addressed result cache rooted
+// at dir (created if needed): if this exact configuration — every field,
+// seed and option included — has been simulated into dir before, the
+// stored result is returned without simulating. Stores are shared per
+// directory across calls. WithCache panics if dir cannot be created;
+// use OpenCache plus WithCacheStore to handle the error instead.
+//
+// Combining WithCache with WithMetrics or WithAudit always simulates
+// (telemetry and audit observe the simulation itself), but still stores
+// the result for later cache hits.
+func WithCache(dir string) Option {
+	return func(o *options) {
+		if c, ok := openedCaches.Load(dir); ok {
+			o.cache = c.(*Cache)
+			return
+		}
+		c, err := runcache.Open(dir)
+		if err != nil {
+			panic(fmt.Sprintf("bufsim: WithCache(%q): %v", dir, err))
+		}
+		actual, _ := openedCaches.LoadOrStore(dir, c)
+		o.cache = actual.(*Cache)
+	}
+}
+
+// WithCacheStore is WithCache for a store the caller opened (or
+// configured — e.g. verification sampling via SetVerifySample) itself.
+func WithCacheStore(c *Cache) Option {
+	return func(o *options) { o.cache = c }
 }

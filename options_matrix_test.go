@@ -1,0 +1,116 @@
+package bufsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// matrixEntryPoints wraps every public Simulate* entry point around a
+// deliberately tiny scenario, so the full entry-point × option matrix
+// below stays cheap enough for the ordinary test run.
+var matrixEntryPoints = []struct {
+	name string
+	run  func(opts ...Option) any
+}{
+	{"Simulate", func(opts ...Option) any {
+		return Simulate(Simulation{
+			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+			Flows: 8, BufferPackets: 20,
+			RTTSpread: 20 * Millisecond,
+			Warmup:    1 * Second, Measure: 2 * Second,
+		}, opts...)
+	}},
+	{"SimulateReplicated", func(opts ...Option) any {
+		return SimulateReplicated(Simulation{
+			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+			Flows: 8, BufferPackets: 20,
+			RTTSpread: 20 * Millisecond,
+			Warmup:    1 * Second, Measure: 2 * Second,
+		}, 2, opts...)
+	}},
+	{"SimulateSingleFlow", func(opts ...Option) any {
+		return SimulateSingleFlow(Link{Rate: 10 * Mbps, RTT: 50 * Millisecond}, 1, 1, opts...)
+	}},
+	{"SimulateShortFlows", func(opts ...Option) any {
+		return SimulateShortFlows(ShortFlowSimulation{
+			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+			BufferPackets: 30, Load: 0.5, FlowLength: 14,
+			Warmup: 1 * Second, Measure: 2 * Second,
+		}, opts...)
+	}},
+	{"SimulateMix", func(opts ...Option) any {
+		return SimulateMix(MixSimulation{
+			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+			LongFlows: 4, ShortLoad: 0.2, BufferPackets: 30,
+			RTTSpread: 20 * Millisecond,
+			Warmup:    1 * Second, Measure: 2 * Second,
+		}, opts...)
+	}},
+	{"SimulateTrace", func(opts ...Option) any {
+		return SimulateTrace(TraceSimulation{
+			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+			Flows: []TraceFlow{
+				{Start: Time(0), Size: 10},
+				{Start: Time(100 * Millisecond), Size: 30},
+				{Start: Time(300 * Millisecond), Size: 5},
+			},
+			BufferPackets: 30,
+		}, opts...)
+	}},
+}
+
+// TestOptionsMatrix runs every public entry point under every functional
+// option, per the matrix in the package documentation: each combination
+// must run (not just compile), observers must not perturb the result,
+// and a cached re-run must hit and replay the result bit-identically.
+func TestOptionsMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs")
+	}
+	for _, ep := range matrixEntryPoints {
+		t.Run(ep.name, func(t *testing.T) {
+			base := ep.run()
+
+			options := []struct {
+				name string
+				opt  Option
+				// observer options must leave the result bit-identical
+				// to the optionless run
+				observer bool
+			}{
+				{"WithRED", WithRED(true), false},
+				{"WithPacing", WithPacing(true), false},
+				{"WithDelayedACK", WithDelayedACK(true), false},
+				{"WithMetrics", WithMetrics(NewRegistry()), true},
+				{"WithAudit", WithAudit(NewAuditor()), true},
+			}
+			for _, o := range options {
+				t.Run(o.name, func(t *testing.T) {
+					got := ep.run(o.opt)
+					if o.observer && !reflect.DeepEqual(got, base) {
+						t.Errorf("observer option perturbed the result:\ngot  %+v\nbase %+v", got, base)
+					}
+				})
+			}
+
+			t.Run("WithCache", func(t *testing.T) {
+				cache, err := OpenCache(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold := ep.run(WithCacheStore(cache))
+				if !reflect.DeepEqual(cold, base) {
+					t.Errorf("caching perturbed the result:\ngot  %+v\nbase %+v", cold, base)
+				}
+				before := cache.Stats()
+				warm := ep.run(WithCacheStore(cache))
+				if hits := cache.Stats().Hits - before.Hits; hits == 0 {
+					t.Error("identical rerun missed the cache")
+				}
+				if !reflect.DeepEqual(warm, cold) {
+					t.Errorf("cache replay differs from the computed result:\nwarm %+v\ncold %+v", warm, cold)
+				}
+			})
+		})
+	}
+}
