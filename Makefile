@@ -1,0 +1,70 @@
+# Every target here is what CI runs — keep them in sync so "it passed
+# locally" and "it passed CI" mean the same thing.
+
+GO  ?= go
+BIN := bin
+
+.PHONY: all build fmt-check lint vet test short race mutation fuzz-smoke \
+        bench-smoke golden bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+# lint builds the first-party vettool and runs its five analyzers
+# (simdeterminism, maporder, unitsafety, digestfield, eventcapture)
+# over the tree through go vet's unitchecker protocol. Blocking: any
+# finding fails the build. See DESIGN.md "Static analysis".
+lint: $(BIN)/buflint
+	$(GO) vet -vettool=$(abspath $(BIN)/buflint) ./...
+
+$(BIN)/buflint: FORCE
+	$(GO) build -o $(BIN)/buflint ./cmd/buflint
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# mutation proves the conservation auditor detects a seeded accounting
+# bug (build tag auditmutation plants it in DropTail).
+mutation:
+	$(GO) test -tags auditmutation -run TestAuditMutation ./internal/queue/
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzQueueConservation -fuzztime 30s ./internal/queue/
+	$(GO) test -run '^$$' -fuzz FuzzSchedulerInvariants -fuzztime 30s ./internal/sim/
+
+# bench-smoke only checks the benchmarks still compile and run one
+# iteration; -short keeps the expensive paper reproductions out.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+golden:
+	$(GO) test -run TestGolden -v ./internal/experiment/
+
+# bench regenerates the kernel benchmark report against the checked-in
+# baseline (reference numbers come from a quiet machine at GOMAXPROCS=1).
+bench:
+	GOMAXPROCS=1 $(GO) run ./bench -out BENCH_kernel_ci.json -baseline BENCH_kernel.json
+
+clean:
+	rm -rf $(BIN) BENCH_kernel_ci.json
+
+FORCE:

@@ -20,11 +20,13 @@ func kernelChurn(n int) {
 	tick = func() {
 		fired++
 		if fired < n {
-			s.After(10, tick)
+			//lint:ignore eventcapture this benchmark measures the closure-posting path on purpose
+			s.After(10*units.Nanosecond, tick)
 		}
 	}
 	for j := 0; j < 100 && j < n; j++ {
+		//lint:ignore eventcapture this benchmark measures the closure-posting path on purpose
 		s.After(units.Duration(j), tick)
 	}
-	s.Run(units.Never - 1)
+	s.Run(units.Never.Add(-units.Nanosecond))
 }

@@ -361,7 +361,7 @@ func TestWithREDHonoredEverywhere(t *testing.T) {
 		// Offer more than the line rate so the buffer actually fills.
 		var flows []TraceFlow
 		for i := 0; i < 300; i++ {
-			flows = append(flows, TraceFlow{Start: Time(i) * Time(20*Millisecond), Size: 60})
+			flows = append(flows, TraceFlow{Start: Duration(i) * 20 * Millisecond, Size: 60})
 		}
 		cfg := TraceSimulation{Seed: 3, Link: l, Flows: flows, BufferPackets: 20}
 		plain := SimulateTrace(cfg)

@@ -1,0 +1,99 @@
+// Buflint is the simulator's vettool: it assembles the internal/lint
+// analyzers (simdeterminism, maporder, unitsafety, digestfield,
+// eventcapture) into a binary that speaks the `go vet -vettool`
+// unitchecker protocol, built entirely on the standard library.
+//
+// Usage:
+//
+//	go build -o bin/buflint ./cmd/buflint
+//	go vet -vettool=$(pwd)/bin/buflint ./...
+//
+// or standalone, without the go tool driving it:
+//
+//	go run ./cmd/buflint ./...
+//
+// In vettool mode go vet hands buflint one JSON config per package
+// (naming the source files and the export data of every dependency);
+// buflint type-checks from that and reports findings in the standard
+// file:line:col form, exiting 2 when there are any. In standalone mode
+// buflint loads packages itself from source, which needs no build cache
+// but re-type-checks dependencies on every run.
+//
+// Intentional exceptions are suppressed in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on, or immediately above, the offending line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bufsim/internal/lint"
+)
+
+const version = "buflint version v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol probes from cmd/go.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full" || a == "-V" || a == "--V":
+			// The output is part of go vet's action cache key; bump the
+			// version string whenever an analyzer's behavior changes so
+			// cached "clean" verdicts are invalidated.
+			fmt.Println(version)
+			return
+		case a == "-flags" || a == "--flags":
+			// Flags we accept from `go vet -<flag>`.
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON diagnostics"}]`)
+			return
+		}
+	}
+
+	jsonOut := false
+	var rest []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json", "-json=true", "--json=true":
+			jsonOut = true
+		case "-json=false", "--json=false":
+		default:
+			rest = append(rest, a)
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		runVetMode(rest[0], jsonOut)
+		return
+	}
+	runStandalone(rest)
+}
+
+// runStandalone loads packages from source and prints findings.
+func runStandalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	findings, err := lint.Run(mod, patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "buflint: %d finding(s)\n", len(findings))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,194 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the buflint binary into dir and returns its path.
+func buildTool(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "buflint")
+	cmd := exec.Command("go", "build", "-o", bin, "bufsim/cmd/buflint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building buflint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/buflint -> repo root
+}
+
+// writeModule materializes a synthetic module. Its module path must be
+// "bufsim" so the analyzers' AppliesTo scopes treat it as the simulator.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtySource = `package bufsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spray leaks wall-clock time into the deterministic core and prints a
+// map in iteration order: one finding for each analyzer under test.
+func Spray(m map[string]int) {
+	start := time.Now()
+	for k, v := range m {
+		fmt.Println(k, v, start)
+	}
+}
+`
+
+const cleanSource = `package bufsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spray prints a map in sorted key order.
+func Spray(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`
+
+// TestStandaloneDirtyModule runs the assembled tool in standalone mode
+// over a module with exactly two planted violations and asserts the exit
+// status and diagnostic count the CI gate relies on.
+func TestStandaloneDirtyModule(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeModule(t, map[string]string{
+		"go.mod":  "module bufsim\n\ngo 1.22\n",
+		"tiny.go": dirtySource,
+	})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("exit code = %d, want 2\n%s", code, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "buflint: 2 finding(s)") {
+		t.Errorf("want exactly 2 findings, got:\n%s", text)
+	}
+	if !strings.Contains(text, "wall-clock time.Now") {
+		t.Errorf("missing simdeterminism diagnostic:\n%s", text)
+	}
+	if !strings.Contains(text, "fmt.Println inside range over a map") {
+		t.Errorf("missing maporder diagnostic:\n%s", text)
+	}
+}
+
+// TestStandaloneCleanModule: no findings, exit 0, silence.
+func TestStandaloneCleanModule(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeModule(t, map[string]string{
+		"go.mod":  "module bufsim\n\ngo 1.22\n",
+		"tiny.go": cleanSource,
+	})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean module: %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Errorf("clean module produced output:\n%s", out)
+	}
+}
+
+// TestSuppressionSilencesFinding: a //lint:ignore with a reason silences
+// exactly the named analyzer at that site.
+func TestSuppressionSilencesFinding(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeModule(t, map[string]string{
+		"go.mod": "module bufsim\n\ngo 1.22\n",
+		"tiny.go": `package bufsim
+
+import "time"
+
+// Stamp is telemetry-only by design.
+func Stamp() int64 {
+	//lint:ignore simdeterminism test fixture: telemetry only
+	return time.Now().UnixNano()
+}
+`,
+	})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("suppressed module: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolProtocol drives the binary the way CI does — through
+// `go vet -vettool` — so the unitchecker handshake (-V=full, -flags,
+// per-package .cfg, export-data import) is exercised end to end.
+func TestVetToolProtocol(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeModule(t, map[string]string{
+		"go.mod":  "module bufsim\n\ngo 1.22\n",
+		"tiny.go": dirtySource,
+	})
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over a dirty module:\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "wall-clock time.Now") ||
+		!strings.Contains(text, "fmt.Println inside range over a map") {
+		t.Errorf("go vet output missing expected diagnostics:\n%s", text)
+	}
+
+	// And the clean module passes under the same driver.
+	clean := writeModule(t, map[string]string{
+		"go.mod":  "module bufsim\n\ngo 1.22\n",
+		"tiny.go": cleanSource,
+	})
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = clean
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

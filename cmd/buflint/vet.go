@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"bufsim/internal/lint"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for a vettool, one
+// per package. Field set and semantics follow the unitchecker protocol
+// (golang.org/x/tools/go/analysis/unitchecker), which cmd/go treats as
+// the vettool ABI.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetMode executes one unitchecker-protocol invocation: parse the
+// package named by cfgPath, type-check it against its dependencies'
+// export data, run the analyzers, and report.
+func runVetMode(cfgPath string, jsonOut bool) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("buflint: parsing %s: %v", cfgPath, err))
+	}
+
+	// Buflint defines no facts, but the protocol requires the vetx
+	// output to exist so downstream packages can "import" it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency visited only for facts; nothing to report
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := mappedImporter{m: cfg.ImportMap, imp: compilerImporter}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(fmt.Errorf("buflint: typecheck %s: %v", cfg.ImportPath, err))
+	}
+
+	findings, err := lint.RunAnalyzers(fset, files, pkg, info, cfg.ImportPath, lint.Analyzers())
+	if err != nil {
+		fatal(err)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	if jsonOut {
+		emitJSON(cfg.ImportPath, findings)
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Position, f.Message)
+	}
+	os.Exit(2)
+}
+
+type mappedImporter struct {
+	m   map[string]string
+	imp types.Importer
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return mi.imp.Import(path)
+}
+
+// emitJSON mirrors unitchecker's -json shape:
+// {"pkgpath": {"analyzer": [{posn, message}, ...]}}. go vet merges these
+// blobs across packages; JSON mode reports and exits 0.
+func emitJSON(pkgPath string, findings []lint.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
+			Posn:    f.Position.String(),
+			Message: f.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -230,24 +230,13 @@ func runSmoothingPoint(cfg SmoothingConfig, ratio float64, moments model.BurstMo
 	})
 	gen.Start()
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
-	// Sample the queue at every enqueue during the window (arrival
-	// sampling, matching the model's P(Q >= b) seen by arrivals).
-	var samples, exceed int64
-	var occupancy float64
-	var probe func()
-	probe = func() {
-		q := d.Bottleneck.Queue().Len()
-		samples++
-		occupancy += float64(q)
-		if q >= cfg.TailAt {
-			exceed++
-		}
-		sched.After(units.Millisecond, probe)
-	}
-	sched.After(units.Millisecond, probe)
-	sched.Run(warmEnd + units.Time(cfg.Measure))
+	// Sample the queue during the window (arrival sampling, matching the
+	// model's P(Q >= b) seen by arrivals).
+	probe := &queueProbe{sched: sched, d: d, period: units.Millisecond, tailAt: cfg.TailAt}
+	sched.PostAfter(probe.period, probe, 0, nil)
+	sched.Run(warmEnd.Add(cfg.Measure))
 	gen.Stop()
 
 	p := SmoothingPoint{
@@ -255,9 +244,34 @@ func runSmoothingPoint(cfg SmoothingConfig, ratio float64, moments model.BurstMo
 		ModelMG1:    moments.QueueTail(cfg.Load, float64(cfg.TailAt)),
 		ModelMD1:    model.MD1QueueTail(cfg.Load, float64(cfg.TailAt)),
 	}
-	if samples > 0 {
-		p.TailProb = float64(exceed) / float64(samples)
-		p.MeanQueue = occupancy / float64(samples)
+	if probe.samples > 0 {
+		p.TailProb = float64(probe.exceed) / float64(probe.samples)
+		p.MeanQueue = probe.occupancy / float64(probe.samples)
 	}
 	return p
+}
+
+// queueProbe periodically samples the bottleneck queue through the
+// kernel's typed-event path: one actor for the whole run instead of one
+// rescheduled closure per sample.
+type queueProbe struct {
+	sched  *sim.Scheduler
+	d      *topology.Dumbbell
+	period units.Duration
+	tailAt int
+
+	samples   int64
+	exceed    int64
+	occupancy float64
+}
+
+// OnEvent implements sim.Actor.
+func (p *queueProbe) OnEvent(int32, any) {
+	q := p.d.Bottleneck.Queue().Len()
+	p.samples++
+	p.occupancy += float64(q)
+	if q >= p.tailAt {
+		p.exceed++
+	}
+	p.sched.PostAfter(p.period, p, 0, nil)
 }

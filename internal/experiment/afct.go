@@ -272,6 +272,7 @@ func runTrace(cfg TraceConfig) TraceResult {
 	if cfg.BufferPackets > 0 {
 		limit = queue.PacketLimit(cfg.BufferPackets)
 	}
+	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
@@ -298,11 +299,11 @@ func runTrace(cfg TraceConfig) TraceResult {
 		DelayedAck:  cfg.DelayedAck,
 		Paced:       cfg.Paced,
 	})
-	last := cfg.Flows[len(cfg.Flows)-1].Start
-	first := cfg.Flows[0].Start
+	last := units.Epoch.Add(cfg.Flows[len(cfg.Flows)-1].Start)
+	first := units.Epoch.Add(cfg.Flows[0].Start)
 	sched.Run(first)
 	busy := d.Bottleneck.BusyTime()
-	sched.Run(last + units.Time(cfg.Drain))
+	sched.Run(last.Add(cfg.Drain))
 
 	res := TraceResult{}
 	if last > first {
@@ -343,6 +344,7 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metri
 
 // runMixedUncached is the uncached body of runMixedOnce.
 func runMixedUncached(cfg AFCTComparisonConfig, label string, buffer int, reg *metrics.Registry) AFCTOutcome {
+	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
@@ -384,13 +386,13 @@ func runMixedUncached(cfg AFCTComparisonConfig, label string, buffer int, reg *m
 	})
 	gen.Start()
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
 	if d.DropTail != nil && !cfg.MeanQueueIncludesWarmup {
 		d.DropTail.ResetOccupancy(warmEnd)
 	}
 	busySnap := d.Bottleneck.BusyTime()
-	measureEnd := warmEnd + units.Time(cfg.Measure)
+	measureEnd := warmEnd.Add(cfg.Measure)
 	sched.Run(measureEnd)
 	util := d.Bottleneck.Utilization(busySnap, warmEnd)
 	meanQ := 0.0
@@ -398,7 +400,7 @@ func runMixedUncached(cfg AFCTComparisonConfig, label string, buffer int, reg *m
 		meanQ = d.DropTail.MeanOccupancy(measureEnd)
 	}
 	gen.Stop()
-	sched.Run(measureEnd + units.Time(60*units.Second)) // drain
+	sched.Run(measureEnd.Add(60 * units.Second)) // drain
 	observeWallTime(reg, wallStart, sched)
 	afct, completed, censored := gen.AFCT(warmEnd, measureEnd)
 	return AFCTOutcome{

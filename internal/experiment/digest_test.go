@@ -121,7 +121,7 @@ var goldenDigestCases = []struct {
 			flows := make([]workload.FlowSpec, 0, 60)
 			for i := 0; i < 60; i++ {
 				flows = append(flows, workload.FlowSpec{
-					Start: units.Time(i) * units.Time(200*units.Millisecond),
+					Start: units.Duration(i) * 200 * units.Millisecond,
 					Size:  int64(2 + i%37),
 				})
 			}

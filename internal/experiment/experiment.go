@@ -180,6 +180,7 @@ func RunLongLived(cfg LongLivedConfig) LongLivedResult {
 // runLongLived is the uncached body of RunLongLived; cfg has defaults
 // applied.
 func runLongLived(cfg LongLivedConfig) LongLivedResult {
+	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
@@ -224,7 +225,7 @@ func runLongLived(cfg LongLivedConfig) LongLivedResult {
 	// synchronize artificially.
 	workload.StartLongLived(d, cfg.N, spec, rng.Fork(), cfg.Warmup/2)
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
 	if d.DropTail != nil && !cfg.MeanQueueIncludesWarmup {
 		d.DropTail.ResetOccupancy(warmEnd)
@@ -251,7 +252,7 @@ func runLongLived(cfg LongLivedConfig) LongLivedResult {
 		senderSnaps[i] = sendSnap{st.SegmentsSent, st.Retransmits}
 	}
 
-	end := warmEnd + units.Time(cfg.Measure)
+	end := warmEnd.Add(cfg.Measure)
 	sched.Run(end)
 
 	qs := d.Bottleneck.Queue().Stats()

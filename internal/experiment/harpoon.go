@@ -157,14 +157,14 @@ func runHarpoonUncached(cfg HarpoonConfig, limit queue.Limit) harpoonRun {
 	active := trace.NewSampler(sched, "active", 100*units.Millisecond,
 		func() float64 { return float64(g.Active()) })
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
 	busy := d.Bottleneck.BusyTime()
 	t0 := g.Transfers
-	end := warmEnd + units.Time(cfg.Measure)
+	end := warmEnd.Add(cfg.Measure)
 	sched.Run(end)
 
-	series := active.Series().Window(cfg.Warmup.Seconds(), units.Duration(end).Seconds())
+	series := active.Series().Window(cfg.Warmup.Seconds(), end.Sub(units.Epoch).Seconds())
 	var meanActive float64
 	for _, v := range series.Values {
 		meanActive += v

@@ -120,12 +120,12 @@ func runMultiHop(cfg MultiHopConfig) MultiHopResult {
 			if path == [2]int{0, 2} {
 				crossing = append(crossing, f)
 			}
-			snd := f.Sender
-			sched.At(units.Time(rng.Uniform(0, float64(cfg.Warmup/2))), snd.Start)
+			start := units.Epoch.Add(units.Duration(rng.Uniform(0, float64(cfg.Warmup/2))))
+			sched.PostAt(start, f.Sender, tcp.OpStart, nil)
 		}
 	}
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
 	var busy [2]units.Duration
 	var qs [2]queue.Stats
@@ -139,7 +139,7 @@ func runMultiHop(cfg MultiHopConfig) MultiHopResult {
 	}
 	hop1Snap := p.Links[0].DeliveredPackets()
 
-	sched.Run(warmEnd + units.Time(cfg.Measure))
+	sched.Run(warmEnd.Add(cfg.Measure))
 
 	res := MultiHopResult{BufferPackets: buffer, FlowsPerLink: perLink}
 	for i := range p.Links {

@@ -109,6 +109,7 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 // runSingleFlow is the uncached body of RunSingleFlow; cfg has defaults
 // applied.
 func runSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
+	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	bdp := units.PacketsInFlight(cfg.BottleneckRate, cfg.RTT, cfg.SegmentSize)
@@ -144,18 +145,18 @@ func runSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 	qlen := trace.NewSampler(sched, "queue_pkts", cfg.SampleEvery,
 		func() float64 { return float64(d.Bottleneck.Queue().Len()) })
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
 	busySnap := d.Bottleneck.BusyTime()
-	end := warmEnd + units.Time(cfg.Measure)
+	end := warmEnd.Add(cfg.Measure)
 	sched.Run(end)
 
 	res := SingleFlowResult{
 		BDPPackets:    bdp,
 		BufferPackets: buffer,
 		Utilization:   d.Bottleneck.Utilization(busySnap, warmEnd),
-		Cwnd:          cwnd.Series().Window(cfg.Warmup.Seconds(), units.Duration(end).Seconds()),
-		Queue:         qlen.Series().Window(cfg.Warmup.Seconds(), units.Duration(end).Seconds()),
+		Cwnd:          cwnd.Series().Window(cfg.Warmup.Seconds(), end.Sub(units.Epoch).Seconds()),
+		Queue:         qlen.Series().Window(cfg.Warmup.Seconds(), end.Sub(units.Epoch).Seconds()),
 	}
 	res.MinQueueSeen = res.Queue.Min()
 	for _, v := range res.Queue.Values {

@@ -319,17 +319,17 @@ func runProductionPoint(cfg ProductionConfig, buffer int, bdp float64) Productio
 		concurrent := trace.NewSampler(sched, "concurrent", 100*units.Millisecond,
 			func() float64 { return float64(cfg.NLong + gen.Active()) })
 
-		warmEnd := units.Time(cfg.Warmup)
+		warmEnd := units.Epoch.Add(cfg.Warmup)
 		sched.Run(warmEnd)
 		busySnap := d.Bottleneck.BusyTime()
-		measureEnd := warmEnd + units.Time(cfg.Measure)
+		measureEnd := warmEnd.Add(cfg.Measure)
 		sched.Run(measureEnd)
 		util := d.Bottleneck.Utilization(busySnap, warmEnd)
 		gen.Stop()
-		sched.Run(measureEnd + units.Time(30*units.Second))
+		sched.Run(measureEnd.Add(30 * units.Second))
 		afct, completed, _ := gen.AFCT(warmEnd, measureEnd)
 
-		series := concurrent.Series().Window(cfg.Warmup.Seconds(), units.Duration(measureEnd).Seconds())
+		series := concurrent.Series().Window(cfg.Warmup.Seconds(), measureEnd.Sub(units.Epoch).Seconds())
 		meanConc := 0.0
 		for _, v := range series.Values {
 			meanConc += v

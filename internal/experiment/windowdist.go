@@ -99,6 +99,22 @@ func RunWindowDist(cfg WindowDistConfig) WindowDistResult {
 	})
 }
 
+// windowSampler records the aggregate congestion window at a fixed
+// period through the kernel's typed-event path (one actor, no closure
+// per sample).
+type windowSampler struct {
+	sched   *sim.Scheduler
+	d       *topology.Dumbbell
+	every   units.Duration
+	samples []float64
+}
+
+// OnEvent implements sim.Actor.
+func (s *windowSampler) OnEvent(int32, any) {
+	s.samples = append(s.samples, s.d.AggregateWindow())
+	s.sched.PostAfter(s.every, s, 0, nil)
+}
+
 // runWindowDist is the uncached body of RunWindowDist; cfg has defaults
 // applied.
 func runWindowDist(cfg WindowDistConfig) WindowDistResult {
@@ -122,17 +138,13 @@ func runWindowDist(cfg WindowDistConfig) WindowDistResult {
 	})
 	workload.StartLongLived(d, cfg.N, tcp.Config{SegmentSize: cfg.SegmentSize}, rng.Fork(), cfg.Warmup/2)
 
-	warmEnd := units.Time(cfg.Warmup)
+	warmEnd := units.Epoch.Add(cfg.Warmup)
 	sched.Run(warmEnd)
 
-	var samples []float64
-	var sample func()
-	sample = func() {
-		samples = append(samples, d.AggregateWindow())
-		sched.After(cfg.SampleEvery, sample)
-	}
-	sched.After(cfg.SampleEvery, sample)
-	sched.Run(warmEnd + units.Time(cfg.Measure))
+	sampler := &windowSampler{sched: sched, d: d, every: cfg.SampleEvery}
+	sched.PostAfter(sampler.every, sampler, 0, nil)
+	sched.Run(warmEnd.Add(cfg.Measure))
+	samples := sampler.samples
 
 	mean, sd := fitNormal(samples)
 	lo, hi := mean-5*sd, mean+5*sd

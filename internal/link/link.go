@@ -175,9 +175,9 @@ func (l *Link) auditTransmit(p *packet.Packet, now units.Time) {
 			"busyTotal %v != sum of transmission times %v after %d packets",
 			l.busyTotal, l.expectedBusy, l.deliveredPackets)
 	}
-	if l.busyTotal > units.Duration(now) {
+	if l.busyTotal > now.Sub(units.Epoch) {
 		l.aud.Violationf(now, comp, "busy-bounded",
-			"busyTotal %v exceeds elapsed simulated time %v", l.busyTotal, units.Duration(now))
+			"busyTotal %v exceeds elapsed simulated time %v", l.busyTotal, now.Sub(units.Epoch))
 	}
 	// delivered bits / rate should equal busy seconds, up to 1 ns of
 	// TransmissionTime truncation per delivered packet.

@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bufsim/internal/lint"
+	"bufsim/internal/lint/linttest"
+)
+
+func TestSimDeterminism(t *testing.T) { linttest.Run(t, lint.SimDeterminism, "simdet") }
+func TestMapOrder(t *testing.T)       { linttest.Run(t, lint.MapOrder, "mapord") }
+func TestUnitSafety(t *testing.T)     { linttest.Run(t, lint.UnitSafety, "unitsafe") }
+func TestDigestField(t *testing.T)    { linttest.Run(t, lint.DigestField, "digestcfg") }
+func TestEventCapture(t *testing.T)   { linttest.Run(t, lint.EventCapture, "eventcap") }
+
+// TestSuiteComplete pins the analyzer roster: the CI gate, the vettool
+// and the docs all promise these five checks.
+func TestSuiteComplete(t *testing.T) {
+	want := map[string]bool{
+		"simdeterminism": true,
+		"maporder":       true,
+		"unitsafety":     true,
+		"digestfield":    true,
+		"eventcapture":   true,
+	}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in suite", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestAppliesToScopes pins which corners of the tree each analyzer
+// guards, so a scope regression (e.g. dropping tcp from the
+// deterministic core) fails loudly.
+func TestAppliesToScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{lint.SimDeterminism, "bufsim/internal/sim", true},
+		{lint.SimDeterminism, "bufsim/internal/tcp", true},
+		{lint.SimDeterminism, "bufsim/internal/link", true},
+		{lint.SimDeterminism, "bufsim/internal/queue", true},
+		{lint.SimDeterminism, "bufsim/internal/experiment", true},
+		{lint.SimDeterminism, "bufsim/internal/workload", true},
+		{lint.SimDeterminism, "bufsim", true},
+		{lint.SimDeterminism, "bufsim/cmd/paperexp", false}, // CLIs may read the wall clock
+		{lint.SimDeterminism, "bufsim/internal/metrics", false},
+		{lint.UnitSafety, "bufsim/internal/units", false}, // the units package defines the conversions
+		{lint.UnitSafety, "bufsim/internal/tcp", true},
+		{lint.UnitSafety, "bufsim/cmd/bufsim", true},
+		{lint.EventCapture, "bufsim/internal/sim", false}, // sim defines the closure entry points
+		{lint.EventCapture, "bufsim/internal/workload", true},
+		{lint.EventCapture, "bufsim/internal/experiment", true},
+		{lint.MapOrder, "bufsim/internal/experiment", true},
+		{lint.DigestField, "bufsim/internal/experiment", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}

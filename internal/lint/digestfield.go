@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DigestField is the static mirror of TestDigestCoversEveryField: every
+// exported field of an experiment config struct must be visible to the
+// runcache digest, or listed in the package's runcache.IgnoreFields set.
+//
+// The digest walks configs by reflection. Struct fields whose own kind
+// is func, chan or unsafe.Pointer are *silently skipped* — a semantic
+// field of such a type would not move the cache key, so two different
+// runs would share a cached result. Values of those kinds reached any
+// deeper (a slice of funcs, a pointer to a chan) panic at digest time.
+// Map keys must be scalars or the digest panics. This analyzer reports
+// all three hazards at compile time, plus IgnoreFields entries that no
+// longer match any field (a typo there silently un-ignores nothing and
+// may shadow a future field).
+//
+// The analyzer activates on any package that calls runcache.IgnoreFields,
+// and checks every exported struct type in it named *Config.
+var DigestField = &Analyzer{
+	Name: "digestfield",
+	Doc: "every exported field of a *Config struct must be digestable by runcache.Key or listed " +
+		"in IgnoreFields; silently-skipped kinds (func/chan/unsafe) and panicking shapes are errors",
+	AppliesTo: func(pkgPath string) bool {
+		// Cheap pre-filter; the real trigger is the IgnoreFields call.
+		return strings.HasPrefix(pkgPath, "bufsim/")
+	},
+	Run: runDigestField,
+}
+
+func runDigestField(pass *Pass) error {
+	ignored := collectIgnoreFields(pass)
+	if ignored == nil {
+		return nil // package does not digest configs
+	}
+	usedIgnores := make(map[string]bool)
+	var ignorePos token.Pos
+
+	// Find the IgnoreFields call position for stale-entry reports.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isIgnoreFieldsCall(pass, call) && ignorePos == token.NoPos {
+				ignorePos = call.Pos()
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || !strings.HasSuffix(ts.Name.Name, "Config") {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name]
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				checkConfigStruct(pass, ts, st, ignored, usedIgnores)
+			}
+		}
+	}
+
+	for name := range ignored {
+		if !usedIgnores[name] && ignorePos != token.NoPos {
+			pass.Reportf(ignorePos, "IgnoreFields entry %q matches no exported field of any config struct; remove it or fix the name", name)
+		}
+	}
+	return nil
+}
+
+// collectIgnoreFields returns the union of string arguments to every
+// runcache.IgnoreFields call in the package, or nil if there is none.
+func collectIgnoreFields(pass *Pass) map[string]bool {
+	var ignored map[string]bool
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isIgnoreFieldsCall(pass, call) {
+				return true
+			}
+			if ignored == nil {
+				ignored = make(map[string]bool)
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					continue
+				}
+				ignored[constant.StringVal(tv.Value)] = true
+			}
+			return true
+		})
+	}
+	return ignored
+}
+
+func isIgnoreFieldsCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "IgnoreFields" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "runcache")
+}
+
+// checkConfigStruct verifies every exported field of one config struct,
+// reporting at the field's declaration so the fix is one click away.
+func checkConfigStruct(pass *Pass, ts *ast.TypeSpec, st *types.Struct, ignored, usedIgnores map[string]bool) {
+	stExpr, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	fieldPos := make(map[string]token.Pos)
+	for _, f := range stExpr.Fields.List {
+		for _, name := range f.Names {
+			fieldPos[name.Name] = name.Pos()
+		}
+		if len(f.Names) == 0 { // embedded field
+			if id := embeddedFieldName(f.Type); id != "" {
+				fieldPos[id] = f.Type.Pos()
+			}
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if ignored[f.Name()] {
+			usedIgnores[f.Name()] = true
+			continue
+		}
+		pos, ok := fieldPos[f.Name()]
+		if !ok {
+			pos = ts.Pos()
+		}
+		path := ts.Name.Name + "." + f.Name()
+		checkDigestable(pass, pos, path, f.Type(), ignored, usedIgnores, true, make(map[types.Type]bool))
+	}
+}
+
+func embeddedFieldName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// checkDigestable mirrors runcache.encodeValue's type walk. structField
+// records whether t is the declared type of a struct field: at that
+// level func/chan/unsafe kinds are silently skipped by the digest; any
+// deeper they panic.
+func checkDigestable(pass *Pass, pos token.Pos, path string, t types.Type, ignored, usedIgnores map[string]bool, structField bool, visited map[types.Type]bool) {
+	if visited[t] {
+		return
+	}
+	visited[t] = true
+	defer delete(visited, t)
+
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			reportUndigestable(pass, pos, path, "unsafe.Pointer", structField)
+		}
+	case *types.Signature:
+		reportUndigestable(pass, pos, path, "func", structField)
+	case *types.Chan:
+		reportUndigestable(pass, pos, path, "chan", structField)
+	case *types.Interface:
+		// Digested via the concrete type at runtime; nothing to check
+		// statically.
+	case *types.Pointer:
+		checkDigestable(pass, pos, path, u.Elem(), ignored, usedIgnores, false, visited)
+	case *types.Slice:
+		checkDigestable(pass, pos, path+"[]", u.Elem(), ignored, usedIgnores, false, visited)
+	case *types.Array:
+		checkDigestable(pass, pos, path+"[]", u.Elem(), ignored, usedIgnores, false, visited)
+	case *types.Map:
+		if !scalarMapKey(u.Key()) {
+			pass.Reportf(pos, "%s has map key type %s, which runcache.Key cannot canonicalize (it panics at digest time); key maps by scalars", path, u.Key())
+		}
+		checkDigestable(pass, pos, path+"[...]", u.Elem(), ignored, usedIgnores, false, visited)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if ignored[f.Name()] {
+				usedIgnores[f.Name()] = true
+				continue
+			}
+			checkDigestable(pass, pos, path+"."+f.Name(), f.Type(), ignored, usedIgnores, true, visited)
+		}
+	}
+}
+
+func reportUndigestable(pass *Pass, pos token.Pos, path, kind string, structField bool) {
+	if structField {
+		pass.Reportf(pos, "%s (kind %s) is silently skipped by the runcache digest, so it would not move the cache key; list it in IgnoreFields if it is an observer, or make it digestable", path, kind)
+	} else {
+		pass.Reportf(pos, "%s reaches a %s value, which runcache.Key panics on at digest time; restructure the field or list it in IgnoreFields", path, kind)
+	}
+}
+
+// scalarMapKey mirrors runcache.scalarString's accepted kinds.
+func scalarMapKey(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch {
+	case b.Info()&(types.IsBoolean|types.IsNumeric|types.IsString) != 0:
+		return b.Kind() != types.UnsafePointer
+	default:
+		return false
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EventCapture enforces the pooled event kernel's contracts on the
+// packages that schedule simulation work:
+//
+//   - Closure posting (Scheduler.At/After/Reschedule with a func) is
+//     forbidden: each call heap-allocates the closure plus its captures
+//     on what PR 2 made an allocation-free path. Components implement
+//     sim.Actor and schedule themselves with PostAt/PostAfter.
+//   - sim.Event handles must not be compared with == / != or used as
+//     map keys. A handle is {slot, generation}: after the slot is
+//     recycled an equal-looking handle can denote a different event, so
+//     identity tests are meaningless — ask Scheduler.Active instead.
+//
+// The sim package itself is exempt (it defines the closure entry points
+// for tests and cold paths), as are test files everywhere.
+var EventCapture = &Analyzer{
+	Name: "eventcapture",
+	Doc: "forbid closure-posting (Scheduler.At/After/Reschedule) and sim.Event identity " +
+		"comparison on simulation scheduling paths; use Actor dispatch (PostAt/PostAfter) and Scheduler.Active",
+	AppliesTo: func(pkgPath string) bool {
+		switch pkgPath {
+		case "bufsim/internal/sim", "bufsim/internal/lint":
+			return false
+		}
+		return pkgPath == "bufsim" || strings.HasPrefix(pkgPath, "bufsim/")
+	},
+	Run: runEventCapture,
+}
+
+var closurePostMethods = map[string]string{
+	"At":         "PostAt",
+	"After":      "PostAfter",
+	"Reschedule": "Cancel + PostAt",
+}
+
+func runEventCapture(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkClosurePost(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkEventComparison(pass, n)
+				}
+			case *ast.MapType:
+				if tv, ok := pass.Info.Types[n.Key]; ok && isSimEvent(tv.Type) {
+					pass.Reportf(n.Pos(), "sim.Event used as a map key: handles of recycled slots collide, so lookups are unreliable; key by component identity instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkClosurePost(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	replacement, banned := closurePostMethods[fn.Name()]
+	if !banned {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Scheduler" || named.Obj().Pkg() == nil ||
+		!strings.HasSuffix(named.Obj().Pkg().Path(), "internal/sim") {
+		return
+	}
+	pass.Reportf(call.Pos(), "closure-posting Scheduler.%s allocates the func and its captures per event; implement sim.Actor and use %s", fn.Name(), replacement)
+}
+
+func checkEventComparison(pass *Pass, n *ast.BinaryExpr) {
+	xt, xok := pass.Info.Types[n.X]
+	yt, yok := pass.Info.Types[n.Y]
+	if !xok || !yok {
+		return
+	}
+	if isSimEvent(xt.Type) && isSimEvent(yt.Type) {
+		pass.Reportf(n.Pos(), "comparing sim.Event handles: a recycled slot makes distinct events compare equal; use Scheduler.Active to test liveness")
+	}
+}
+
+func isSimEvent(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
+}

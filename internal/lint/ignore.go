@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. The full grammar is
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and the directive silences the named analyzers on its own line and on
+// the first line after it, so it works both as a trailing comment and as
+// a standalone comment above the offending statement.
+const ignorePrefix = "//lint:ignore"
+
+type ignoreDirective struct {
+	analyzers map[string]bool
+	line      int // line the directive appears on
+}
+
+type ignoreIndex struct {
+	fset *token.FileSet
+	// byFile maps filename -> directives in that file.
+	byFile map[string][]ignoreDirective
+	// malformed collects positions of directives missing a reason or an
+	// analyzer list.
+	malformed []token.Pos
+}
+
+func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{fset: fset, byFile: make(map[string][]ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// Needs both an analyzer list and a reason: an
+					// unexplained suppression is worth nothing in review.
+					idx.malformed = append(idx.malformed, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					if n != "" {
+						names[n] = true
+					}
+				}
+				idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], ignoreDirective{
+					analyzers: names,
+					line:      pos.Line,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive.
+func (idx *ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range idx.byFile[pos.Filename] {
+		if !d.analyzers[analyzer] {
+			continue
+		}
+		if pos.Line == d.line || pos.Line == d.line+1 {
+			return true
+		}
+	}
+	return false
+}

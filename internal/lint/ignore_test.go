@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"bufsim/internal/lint"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "directive.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestMalformedDirective: a //lint:ignore without a reason (or without
+// an analyzer list) is itself reported, under the pseudo-analyzer
+// lintdirective — an unexplained suppression is worth nothing in review.
+func TestMalformedDirective(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() int {
+	//lint:ignore simdeterminism
+	return 1
+}
+`)
+	findings, err := lint.RunAnalyzers(fset, files, nil, nil, "p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "lintdirective" || !strings.Contains(f.Message, "malformed") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if f.Position.Line != 4 {
+		t.Errorf("finding at line %d, want 4", f.Position.Line)
+	}
+}
+
+// TestWellFormedDirectiveSilent: a directive with a reason produces no
+// lintdirective noise on its own.
+func TestWellFormedDirectiveSilent(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() int {
+	//lint:ignore simdeterminism progress output only
+	return 1
+}
+`)
+	findings, err := lint.RunAnalyzers(fset, files, nil, nil, "p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("got findings %v, want none", findings)
+	}
+}

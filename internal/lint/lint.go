@@ -1,0 +1,185 @@
+// Package lint is the simulator's first-party static-analysis suite.
+//
+// The reproduction's headline numbers are trustworthy only because a run
+// is a pure function of (config, seed): the seven pinned digests, the
+// content-addressed run cache, and crash-resume all replay on that
+// assumption. The runtime layers (digest tests, -cache-verify, the audit
+// hooks) catch drift after it happens; this package catches the usual
+// sources of drift at compile time:
+//
+//   - simdeterminism: no wall clock or global math/rand in the
+//     deterministic core.
+//   - maporder: no order-dependent work inside `range` over a map.
+//   - unitsafety: no bare numeric literals or cross-unit conversions
+//     where units.* quantities are expected.
+//   - digestfield: every exported config field is visible to the
+//     runcache digest or explicitly ignored.
+//   - eventcapture: hot paths use the pooled kernel's Actor dispatch,
+//     not closure posting, and never compare Event handles.
+//
+// The analyzers mirror the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but are built purely on the standard
+// library so the module stays dependency-free; cmd/buflint assembles
+// them into a vettool speaking the `go vet -vettool` protocol.
+//
+// Intentional exceptions are suppressed in source with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on, or on the line before, the offending line. A directive without a
+// reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. It mirrors the x/tools analysis.Analyzer
+// surface that cmd/buflint and linttest need, so the suite can migrate to
+// the upstream framework without touching the checks themselves.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// AppliesTo reports whether the analyzer should run on the package
+	// with the given import path. A nil AppliesTo runs everywhere. The
+	// test harness bypasses this so fixtures can live in synthetic
+	// packages.
+	AppliesTo func(pkgPath string) bool
+
+	// Run performs the analysis and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// PkgPath is the import path being analyzed, normalized (test
+	// variant suffixes stripped).
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned by token.Pos within the pass's
+// file set.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Finding is a rendered diagnostic, positioned absolutely.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// Analyzers returns the full buflint suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SimDeterminism,
+		MapOrder,
+		UnitSafety,
+		DigestField,
+		EventCapture,
+	}
+}
+
+// NormalizePkgPath strips the " [pkg.test]" variant suffix go vet appends
+// to import paths of packages rebuilt for testing.
+func NormalizePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// RunAnalyzers runs the given analyzers over one type-checked package and
+// returns the surviving findings: suppression directives are honored,
+// diagnostics in _test.go files are dropped (the determinism contract
+// binds the simulator, not its tests), and malformed directives are
+// reported under the pseudo-analyzer "lintdirective". Findings are
+// sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgPath = NormalizePkgPath(pkgPath)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			PkgPath:  pkgPath,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	idx := newIgnoreIndex(fset, files)
+	var out []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		if idx.suppressed(d.Analyzer, pos) {
+			continue
+		}
+		out = append(out, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	for _, bad := range idx.malformed {
+		pos := fset.Position(bad)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, Finding{
+			Position: pos,
+			Analyzer: "lintdirective",
+			Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` loops over maps whose bodies do order-dependent
+// work: appending values to an outer slice, writing to a stream, encoder
+// or hash, publishing metrics, sending on a channel, or accumulating
+// floats. Go randomizes map iteration order, so any of these makes the
+// output differ between identical runs — the exact failure mode the
+// digest tests and the run cache cannot tolerate. The sanctioned idiom
+// is to collect the keys, sort them, and range over the sorted slice;
+// a body whose only mutation is `keys = append(keys, k)` is recognized
+// as the first half of that idiom and allowed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-dependent work (appends, stream/encoder/hash writes, metrics publishes, " +
+		"float accumulation) inside range-over-map; sort the keys first",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath == "bufsim" || strings.HasPrefix(pkgPath, "bufsim/internal/") || strings.HasPrefix(pkgPath, "bufsim/cmd/")
+	},
+	Run: runMapOrder,
+}
+
+// streamMethodNames are method names that emit bytes or records in call
+// order: io.Writer and friends, encoders, and hashes.
+var streamMethodNames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Sum":         true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+}
+
+// metricsMethodNames publish a value to the telemetry registry.
+var metricsMethodNames = map[string]bool{
+	"Set":     true,
+	"Add":     true,
+	"Inc":     true,
+	"Observe": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody walks one map-range body (including nested blocks
+// and function literals, which typically run within the iteration) and
+// reports every order-dependent operation.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	keyObj := identObject(pass, rng.Key)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "send on a channel inside range over a map delivers in random order; sort the keys first")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, keyObj, n)
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rng, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, keyObj types.Object, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Integer accumulation commutes exactly; floating-point does not
+		// (rounding depends on summation order), so a float total built
+		// in map order differs from run to run in the low bits — enough
+		// to move a digest.
+		for _, lhs := range n.Lhs {
+			t, ok := pass.Info.Types[lhs]
+			if !ok {
+				continue
+			}
+			if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 && declaredOutside(pass, baseExpr(lhs), rng) {
+				pass.Reportf(n.Pos(), "floating-point accumulation into %s inside range over a map is order-dependent; sort the keys first", exprString(lhs))
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range n.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || len(call.Args) < 2 || i >= len(n.Lhs) {
+				continue
+			}
+			if !declaredOutside(pass, call.Args[0], rng) {
+				continue // scratch slice local to the body
+			}
+			// Bless the sort-keys idiom: appending exactly the key.
+			if len(call.Args) == 2 && !call.Ellipsis.IsValid() && keyObj != nil && identObject(pass, call.Args[1]) == keyObj {
+				continue
+			}
+			pass.Reportf(call.Pos(), "append to %s inside range over a map builds a randomly-ordered slice; collect and sort the keys, then range over them", exprString(call.Args[0]))
+		}
+	}
+}
+
+func checkMapRangeCall(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	name := fn.Name()
+	if sig.Recv() == nil {
+		// Package-level emitters: fmt.Print*/Fprint*.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over a map emits lines in random order; sort the keys first", name)
+		}
+		return
+	}
+	// Both rules below apply only when the call repeatedly targets ONE
+	// sink that outlives the loop. A receiver minted inside the body
+	// (e.g. r.Counter(name).Add(v) in a keyed merge) touches a distinct
+	// object per key, which commutes.
+	if !declaredOutside(pass, baseExpr(sel.X), rng) {
+		return
+	}
+	if streamMethodNames[name] {
+		pass.Reportf(call.Pos(), "%s.%s inside range over a map writes in random order; sort the keys first", recvTypeString(sig), name)
+		return
+	}
+	if metricsMethodNames[name] && recvFromMetricsPkg(sig) {
+		pass.Reportf(call.Pos(), "publishing metrics inside range over a map records values in random order; sort the keys first")
+	}
+}
+
+// baseExpr peels selectors, indexes and derefs down to the root
+// expression: the identifier for x.f[i].g, or the call for f().g.
+func baseExpr(e ast.Expr) ast.Expr {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return v
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// identObject resolves an expression to the object of a plain
+// identifier, or nil.
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj, ok := pass.Info.Uses[id]; ok {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// declaredOutside reports whether the storage behind e outlives one
+// iteration of rng: a variable declared outside the range statement, or
+// any non-identifier target (field, index, dereference).
+func declaredOutside(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := identObject(pass, e)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+func recvFromMetricsPkg(sig *types.Signature) bool {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/metrics")
+}
+
+func recvTypeString(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// exprString renders a small expression for a message.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicCorePkgs are the packages whose execution must be a pure
+// function of (config, seed): everything on the simulate-and-measure
+// path. Observer-only packages (metrics, plot, runcache, audit sinks)
+// and the CLIs may read the wall clock; these may not, except under a
+// //lint:ignore with a reason (e.g. wall-time telemetry that never feeds
+// a result).
+var deterministicCorePkgs = map[string]bool{
+	"bufsim":                     true,
+	"bufsim/internal/sim":        true,
+	"bufsim/internal/tcp":        true,
+	"bufsim/internal/link":       true,
+	"bufsim/internal/queue":      true,
+	"bufsim/internal/node":       true,
+	"bufsim/internal/packet":     true,
+	"bufsim/internal/topology":   true,
+	"bufsim/internal/workload":   true,
+	"bufsim/internal/trace":      true,
+	"bufsim/internal/model":      true,
+	"bufsim/internal/stats":      true,
+	"bufsim/internal/units":      true,
+	"bufsim/internal/experiment": true,
+}
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// machine clock. Types (time.Time, time.Duration) and pure constructors
+// are fine; the simulator's own clock is units.Time via Scheduler.Now.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// SimDeterminism forbids wall-clock reads and the process-global
+// math/rand source inside the deterministic core. Both make a run a
+// function of when and where it executed instead of (config, seed),
+// which silently invalidates the pinned digests and every cached result.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock time and global math/rand in the deterministic simulator core; " +
+		"simulated time comes from sim.Scheduler.Now and randomness from a seeded sim.RNG",
+	AppliesTo: func(pkgPath string) bool { return deterministicCorePkgs[pkgPath] },
+	Run:       runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "wall-clock time.%s in deterministic package %s; use the scheduler's simulated clock (sim.Scheduler.Now)", fn.Name(), pass.PkgPath)
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level functions draw from the shared global
+				// source; constructors (New, NewSource, ...) that feed a
+				// seeded stream are the sanctioned path.
+				if fn.Type().(*types.Signature).Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(), "global %s.%s draws from the process-wide source and breaks (config, seed) determinism; use a seeded sim.RNG", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package digestcfg is the digestfield fixture: config fields the
+// runcache digest silently skips (func/chan/unsafe kinds), shapes it
+// panics on (nested funcs, non-scalar map keys), and stale IgnoreFields
+// entries are violations; ignored observers and digestable fields are
+// not.
+package digestcfg
+
+import (
+	"context"
+
+	"bufsim/internal/runcache"
+	"bufsim/internal/units"
+)
+
+var digestIgnore = runcache.IgnoreFields("Observer", "Ctx", "Stale") // want `IgnoreFields entry "Stale" matches no exported field`
+
+// GoodConfig exercises every digestable shape.
+type GoodConfig struct {
+	N        int
+	Load     float64
+	Name     string
+	RTT      units.Duration
+	Sizes    []units.ByteSize
+	ByName   map[string]float64
+	Nested   goodNested
+	MaybePtr *goodNested
+	Dist     interface{ Sample() float64 }
+
+	Observer func(int)       // ignored: observer hook
+	Ctx      context.Context // ignored: execution policy
+
+	hidden func() // unexported fields are skipped by design
+}
+
+type goodNested struct {
+	Depth int
+}
+
+// BadConfig collects the hazards.
+type BadConfig struct {
+	Hook  func()            // want `BadConfig\.Hook \(kind func\) is silently skipped by the runcache digest`
+	Done  chan struct{}     // want `BadConfig\.Done \(kind chan\) is silently skipped by the runcache digest`
+	Hooks []func()          // want `BadConfig\.Hooks\[\] reaches a func value`
+	ByKey map[[2]int]string // want `BadConfig\.ByKey has map key type`
+	Sub   badNested         // want `BadConfig\.Sub\.Fn \(kind func\) is silently skipped`
+}
+
+type badNested struct {
+	Fn func()
+}

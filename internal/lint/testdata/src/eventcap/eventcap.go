@@ -1,0 +1,58 @@
+// Package eventcap is the eventcapture fixture: closure-posting and
+// sim.Event identity tests are violations; Actor dispatch and
+// Scheduler.Active are the sanctioned forms.
+package eventcap
+
+import (
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+const opPing = 1
+
+type pinger struct {
+	sched *sim.Scheduler
+	timer sim.Event
+}
+
+func (p *pinger) OnEvent(op int32, arg any) {
+	if op == opPing {
+		p.timer = p.sched.PostAfter(units.Second, p, opPing, nil) // actor dispatch: fine
+	}
+}
+
+func (p *pinger) arm(at units.Time) {
+	p.timer = p.sched.PostAt(at, p, opPing, nil)
+}
+
+func (p *pinger) disarm() {
+	p.sched.Cancel(p.timer) // cancelling a possibly-stale handle is safe
+}
+
+func (p *pinger) alive() bool {
+	return p.sched.Active(p.timer) // liveness via the scheduler, not ==
+}
+
+func closures(s *sim.Scheduler, t units.Time) {
+	s.At(t, func() {})               // want `closure-posting Scheduler\.At`
+	s.After(units.Second, func() {}) // want `closure-posting Scheduler\.After`
+}
+
+func rearm(s *sim.Scheduler, e sim.Event, t units.Time) {
+	s.Reschedule(e, t, func() {}) // want `closure-posting Scheduler\.Reschedule`
+}
+
+func compare(a, b sim.Event) bool {
+	return a == b // want `comparing sim\.Event handles`
+}
+
+func zeroCheck(p *pinger) bool {
+	return p.timer != (sim.Event{}) // want `comparing sim\.Event handles`
+}
+
+var byEvent map[sim.Event]int // want `sim\.Event used as a map key`
+
+func suppressed(s *sim.Scheduler, t units.Time) {
+	//lint:ignore eventcapture fixture: cold-path setup scheduling, never per-packet
+	s.At(t, func() {})
+}

@@ -1,0 +1,92 @@
+// Package mapord is the maporder fixture: order-dependent work inside
+// range-over-map is a violation; the collect-keys-and-sort idiom and
+// commutative aggregation are not.
+package mapord
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func emit(m map[string]int, w *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over a map`
+	}
+}
+
+func emitMethod(m map[string]int, w *strings.Builder) {
+	for k := range m {
+		w.WriteString(k) // want `Builder\.WriteString inside range over a map`
+	}
+}
+
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside range over a map`
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned idiom: collect only the keys, sort them,
+// iterate the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedEmit(m map[string]int, w *strings.Builder) {
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k]) // slice range: fine
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// intSum commutes exactly, so map order cannot change the answer.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func drain(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send on a channel inside range over a map`
+	}
+}
+
+// scratch appends only to a slice whose lifetime is one iteration.
+func scratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// suppressed: a keyed lookup table where order genuinely cannot matter,
+// accepted with a reason.
+func suppressed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore maporder fixture: demonstrating the suppression path
+		total += v
+	}
+	return total
+}

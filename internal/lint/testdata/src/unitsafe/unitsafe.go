@@ -1,0 +1,78 @@
+// Package unitsafe is the unitsafety fixture: bare numeric literals in
+// units-typed slots, direct cross-unit conversions, and raw Time
+// arithmetic are violations; named constants, explicit constructions
+// and the units helpers are not.
+package unitsafe
+
+import "bufsim/internal/units"
+
+type linkSpec struct {
+	Segment units.ByteSize
+	RTT     units.Duration
+	Rate    units.BitRate
+}
+
+func badFields() linkSpec {
+	return linkSpec{
+		Segment: 1500,             // want `bare literal 1500 in field Segment where units\.ByteSize is expected`
+		RTT:     100,              // want `bare literal 100 in field RTT where units\.Duration is expected`
+		Rate:    155 * units.Mbps, // constant expression names the unit
+	}
+}
+
+func goodFields() linkSpec {
+	return linkSpec{
+		Segment: units.DefaultSegment,
+		RTT:     100 * units.Millisecond,
+		Rate:    units.OC3,
+	}
+}
+
+func takesSize(b units.ByteSize) {}
+
+func args() {
+	takesSize(1000)                 // want `bare literal 1000 in call argument where units\.ByteSize is expected`
+	takesSize(0)                    // zero is the zero value in every unit
+	takesSize(units.DefaultSegment) // named constant
+	takesSize(1500 * units.Byte)    // constructed with the unit in the name
+	takesSize(units.ByteSize(40))   // explicit conversion names the unit
+}
+
+func assign(s *linkSpec) {
+	s.Segment = 9000 // want `bare literal 9000 in assignment to s\.Segment`
+}
+
+func decl() {
+	var d units.Duration = 250 // want `bare literal 250 in declaration`
+	_ = d
+}
+
+func ret() units.Duration {
+	return 42 // want `bare literal 42 in return value`
+}
+
+func crossConvert(t units.Time, d units.Duration, b units.ByteSize) {
+	_ = units.Duration(t)    // want `direct conversion units\.Time -> units\.Duration`
+	_ = units.Time(d)        // want `direct conversion units\.Duration -> units\.Time`
+	_ = units.BitRate(b)     // want `direct conversion units\.ByteSize -> units\.BitRate`
+	_ = units.Time(int64(7)) // plain integer conversion constructs, not launders
+}
+
+func pointArithmetic(t, u units.Time, d units.Duration) units.Time {
+	_ = t + u // want `adding two units\.Time values`
+	_ = t - u // want `subtracting units\.Time values`
+	_ = t.Sub(u)
+	return t.Add(d)
+}
+
+func slices() []units.Duration {
+	return []units.Duration{
+		80 * units.Millisecond,
+		120, // want `bare literal 120 in slice element`
+	}
+}
+
+func suppressed() units.ByteSize {
+	//lint:ignore unitsafety fixture: demonstrating the suppression path
+	return 1480
+}

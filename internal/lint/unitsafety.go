@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitSafety enforces the typed-quantity discipline around
+// internal/units (Time, Duration, ByteSize, BitRate):
+//
+//  1. A bare numeric literal must not cross into a units-typed slot
+//     (call argument, struct field, assignment, return). `1500` says
+//     nothing about bytes vs packets vs nanoseconds — the CoDel-MTU bug
+//     PR 3 caught at runtime was exactly a raw 1500 where a configured
+//     ByteSize belonged. Write `1500 * units.Byte`, a named constant
+//     (units.DefaultSegment), or an explicit conversion instead. Zero
+//     is exempt: it is the zero value in every unit.
+//  2. A value of one units type must not be converted directly into
+//     another (`units.Duration(t)` where t is a Time, ByteSize from a
+//     BitRate, ...). Conversions between quantities go through the
+//     semantic helpers: Time.Add/Sub, units.Epoch, TransmissionTime,
+//     BytesInFlight.
+//  3. Two Times must not be added or subtracted with raw operators: a
+//     Time is a point, not a span. t.Add(d) moves a point by a span;
+//     t.Sub(u) yields the span between points.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc: "forbid bare numeric literals in units.* typed slots, direct conversions between units " +
+		"types, and raw +/- between two Times; use named constants and the units helpers",
+	AppliesTo: func(pkgPath string) bool {
+		if pkgPath == "bufsim/internal/units" || pkgPath == "bufsim/internal/lint" {
+			return false
+		}
+		return pkgPath == "bufsim" || strings.HasPrefix(pkgPath, "bufsim/")
+	},
+	Run: runUnitSafety,
+}
+
+// unitsTypeOf returns the named type from the units package behind t
+// (through one level of naming — units types are defined basics), or nil.
+func unitsTypeOf(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !strings.HasSuffix(pkg.Path(), "internal/units") {
+		return nil
+	}
+	return named
+}
+
+func isUnitsTime(t types.Type) bool {
+	n := unitsTypeOf(t)
+	return n != nil && n.Obj().Name() == "Time"
+}
+
+// bareNumericLiteral reports whether e is a plain numeric literal
+// (possibly parenthesized or signed) with a nonzero value. Expressions
+// that mention a named constant — 60 * units.Millisecond — are not bare:
+// the unit is in the name.
+func bareNumericLiteral(e ast.Expr) (*ast.BasicLit, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.ADD && v.Op != token.SUB {
+				return nil, false
+			}
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind != token.INT && v.Kind != token.FLOAT {
+				return nil, false
+			}
+			return v, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+func runUnitSafety(pass *Pass) error {
+	for _, f := range pass.Files {
+		var funcResults []*types.Tuple // stack of enclosing func result tuples
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				funcResults = append(funcResults, signatureResults(pass, n.Name))
+				for _, st := range n.Body.List {
+					ast.Inspect(st, walk)
+				}
+				funcResults = funcResults[:len(funcResults)-1]
+				return false
+			case *ast.FuncLit:
+				sig, _ := pass.Info.Types[n].Type.(*types.Signature)
+				var res *types.Tuple
+				if sig != nil {
+					res = sig.Results()
+				}
+				funcResults = append(funcResults, res)
+				ast.Inspect(n.Body, walk)
+				funcResults = funcResults[:len(funcResults)-1]
+				return false
+			case *ast.ReturnStmt:
+				if len(funcResults) == 0 {
+					return true
+				}
+				res := funcResults[len(funcResults)-1]
+				if res == nil || res.Len() != len(n.Results) {
+					return true
+				}
+				for i, r := range n.Results {
+					checkUnitsSlot(pass, res.At(i).Type(), r, "return value")
+				}
+			case *ast.CallExpr:
+				checkUnitsCall(pass, n)
+			case *ast.CompositeLit:
+				checkUnitsCompositeLit(pass, n)
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if tv, ok := pass.Info.Types[n.Lhs[i]]; ok {
+							checkUnitsSlot(pass, tv.Type, n.Rhs[i], "assignment to "+exprString(n.Lhs[i]))
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if tv, ok := pass.Info.Types[n.Type]; ok {
+						for _, v := range n.Values {
+							checkUnitsSlot(pass, tv.Type, v, "declaration")
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD || n.Op == token.SUB {
+					xt, xok := pass.Info.Types[n.X]
+					yt, yok := pass.Info.Types[n.Y]
+					if xok && yok && isUnitsTime(xt.Type) && isUnitsTime(yt.Type) &&
+						!isZeroConst(pass, n.X) && !isZeroConst(pass, n.Y) {
+						if n.Op == token.ADD {
+							pass.Reportf(n.Pos(), "adding two units.Time values: a Time is a point in time, not a span; use t.Add(d) with a units.Duration")
+						} else {
+							pass.Reportf(n.Pos(), "subtracting units.Time values with '-' yields a mistyped Time; use t.Sub(u), which returns a units.Duration")
+						}
+					}
+				}
+			}
+			return true
+		}
+		for _, decl := range f.Decls {
+			ast.Inspect(decl, walk)
+		}
+	}
+	return nil
+}
+
+func signatureResults(pass *Pass, name *ast.Ident) *types.Tuple {
+	obj, ok := pass.Info.Defs[name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return obj.Type().(*types.Signature).Results()
+}
+
+// checkUnitsSlot reports a bare nonzero literal flowing into a
+// units-typed slot.
+func checkUnitsSlot(pass *Pass, want types.Type, e ast.Expr, where string) {
+	named := unitsTypeOf(want)
+	if named == nil {
+		return
+	}
+	lit, ok := bareNumericLiteral(e)
+	if !ok || isZeroConst(pass, e) {
+		return
+	}
+	pass.Reportf(lit.Pos(), "bare literal %s in %s where units.%s is expected; name the unit (e.g. a units.%s constant expression or explicit conversion)",
+		lit.Value, where, named.Obj().Name(), named.Obj().Name())
+}
+
+func checkUnitsCall(pass *Pass, call *ast.CallExpr) {
+	// A conversion T(x) between two different units types launders a
+	// quantity across dimensions.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		target := unitsTypeOf(tv.Type)
+		if target == nil || len(call.Args) != 1 {
+			return
+		}
+		argTV, ok := pass.Info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		src := unitsTypeOf(argTV.Type)
+		if src != nil && src.Obj() != target.Obj() {
+			pass.Reportf(call.Pos(), "direct conversion units.%s -> units.%s changes the quantity's meaning; use the units helpers (Time.Add/Sub, units.Epoch, TransmissionTime, BytesInFlight)",
+				src.Obj().Name(), target.Obj().Name())
+		}
+		return
+	}
+	// Ordinary call: check each argument against its parameter type.
+	fnTV, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := fnTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkUnitsSlot(pass, pt, arg, "call argument")
+	}
+}
+
+func checkUnitsCompositeLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Struct:
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				// Positional struct literals are rare in this tree;
+				// resolve by index.
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for i := 0; i < u.NumFields(); i++ {
+				if u.Field(i).Name() == key.Name {
+					checkUnitsSlot(pass, u.Field(i).Type(), kv.Value, "field "+key.Name)
+					break
+				}
+			}
+		}
+	case *types.Slice:
+		for _, el := range lit.Elts {
+			checkUnitsSlot(pass, u.Elem(), elementValue(el), "slice element")
+		}
+	case *types.Array:
+		for _, el := range lit.Elts {
+			checkUnitsSlot(pass, u.Elem(), elementValue(el), "array element")
+		}
+	case *types.Map:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				checkUnitsSlot(pass, u.Key(), kv.Key, "map key")
+				checkUnitsSlot(pass, u.Elem(), kv.Value, "map value")
+			}
+		}
+	}
+}
+
+func elementValue(el ast.Expr) ast.Expr {
+	if kv, ok := el.(*ast.KeyValueExpr); ok {
+		return kv.Value
+	}
+	return el
+}

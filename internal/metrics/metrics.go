@@ -411,9 +411,11 @@ func (r *Registry) Merge(prefix string, child *Registry) {
 	}
 	child.Collect()
 	for name, c := range child.counters {
+		//lint:ignore maporder each key feeds its own instrument, so the per-key merge commutes
 		r.Counter(prefix + "/" + name).Add(c.Value())
 	}
 	for name, g := range child.gauges {
+		//lint:ignore maporder each key feeds its own instrument, so the per-key merge commutes
 		r.Gauge(prefix + "/" + name).Set(g.Value())
 	}
 	for name, h := range child.hists {

@@ -21,7 +21,7 @@ const (
 	SRAMAccessTime = 4 * units.Nanosecond
 	// MinPacket is the minimum-length packet (40 bytes) whose arrival
 	// rate sets the memory-bandwidth requirement.
-	MinPacket units.ByteSize = 40
+	MinPacket = 40 * units.Byte
 	// EmbeddedDRAMBits is "commercial packet processor ASICs have been
 	// built with 256Mbits of embedded DRAM" — the on-chip budget that
 	// makes buffers of ~2% of the delay-bandwidth product attractive.

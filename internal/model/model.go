@@ -10,6 +10,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"bufsim/internal/stats"
 	"bufsim/internal/units"
@@ -164,8 +165,17 @@ func MomentsForFlowLength(flowLen int64, iw, maxWindow int) BurstMoments {
 // segments. Bursts from all flows are pooled, weighted by how many bursts
 // each flow length produces.
 func MomentsForDistribution(lengths map[int64]float64, iw, maxWindow int) BurstMoments {
+	// Accumulate in sorted key order: float rounding depends on summation
+	// order, and map iteration would make these moments (and everything
+	// derived from them) differ between identical runs.
+	keys := make([]int64, 0, len(lengths))
+	for flowLen := range lengths {
+		keys = append(keys, flowLen)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var wsum, sum, sum2 float64
-	for flowLen, p := range lengths {
+	for _, flowLen := range keys {
+		p := lengths[flowLen]
 		if p <= 0 {
 			continue
 		}

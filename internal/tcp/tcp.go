@@ -149,7 +149,7 @@ func (c Config) withDefaults() Config {
 		c.SegmentSize = units.DefaultSegment
 	}
 	if c.AckSize == 0 {
-		c.AckSize = 40
+		c.AckSize = 40 * units.Byte // TCP/IP header, no options
 	}
 	if c.MaxWindow == 0 {
 		c.MaxWindow = 1 << 20 // effectively unbounded
@@ -235,10 +235,14 @@ type Sender struct {
 	OnStateChange func(now units.Time)
 }
 
-// Sender event opcodes (see sim.Actor).
+// Sender event opcodes (see sim.Actor). OpStart is exported so workload
+// generators can schedule a deferred Sender.Start through the kernel's
+// typed-event path — sched.PostAt(at, snd, tcp.OpStart, nil) — instead of
+// capturing the sender in a closure.
 const (
 	opSenderRTO int32 = iota
 	opSenderPace
+	OpStart
 )
 
 // OnEvent implements sim.Actor: the sender's timers are typed kernel
@@ -249,6 +253,8 @@ func (s *Sender) OnEvent(op int32, _ any) {
 		s.onTimeout()
 	case opSenderPace:
 		s.paceFire()
+	case OpStart:
+		s.Start()
 	}
 }
 

@@ -33,6 +33,13 @@ const (
 // Never is a sentinel Time later than any reachable simulation instant.
 const Never Time = math.MaxInt64
 
+// Epoch is the simulation start instant. Converting a span into an
+// absolute instant is written Epoch.Add(d) rather than Time(d): the
+// former states the intent (a point d after the start), the latter
+// launders a Duration into a Time and is rejected by the unitsafety
+// analyzer.
+const Epoch Time = 0
+
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 

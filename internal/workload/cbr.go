@@ -59,7 +59,7 @@ func NewCBR(cfg CBRConfig) *CBR {
 		panic(fmt.Sprintf("workload: CBR rate %v must be positive", cfg.Rate))
 	}
 	if cfg.PacketSize <= 0 {
-		cfg.PacketSize = 200 // small real-time-ish datagrams
+		cfg.PacketSize = 200 * units.Byte // small real-time-ish datagrams
 	}
 	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
 		panic(fmt.Sprintf("workload: CBR jitter %v out of [0,1)", cfg.Jitter))

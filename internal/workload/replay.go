@@ -8,15 +8,18 @@ import (
 	"strconv"
 	"strings"
 
+	"bufsim/internal/sim"
 	"bufsim/internal/tcp"
 	"bufsim/internal/topology"
 	"bufsim/internal/units"
 )
 
 // FlowSpec is one flow of a recorded trace: when it starts and how many
-// segments it carries.
+// segments it carries. Start is an offset from wherever the replay
+// begins, not an absolute instant — Replay anchors it to the simulated
+// time of its call.
 type FlowSpec struct {
-	Start units.Time
+	Start units.Duration
 	Size  int64 // segments
 }
 
@@ -60,7 +63,7 @@ func ParseTrace(r io.Reader) ([]FlowSpec, error) {
 			return nil, fmt.Errorf("workload: trace line %d: start %v / size %d out of range", line, start, size)
 		}
 		specs = append(specs, FlowSpec{
-			Start: units.Time(units.DurationFromSeconds(start)),
+			Start: units.DurationFromSeconds(start),
 			Size:  size,
 		})
 	}
@@ -71,29 +74,60 @@ func ParseTrace(r io.Reader) ([]FlowSpec, error) {
 	return specs, nil
 }
 
+// replayRun is the actor driving one Replay call: a typed event per flow
+// start and per flow teardown, instead of a scheduled closure per flow.
+type replayRun struct {
+	d        *topology.Dumbbell
+	sched    *sim.Scheduler
+	template tcp.Config
+}
+
+// replayFlow is the opReplayStart argument: which station to bind, how
+// much to send, and where to record the outcome.
+type replayFlow struct {
+	size int64
+	st   *topology.Station
+	rec  *FlowRecord
+}
+
+// Replay event opcodes (see sim.Actor).
+const (
+	opReplayStart  int32 = iota // arg: *replayFlow
+	opReplayRemove              // arg: *topology.Flow
+)
+
+// OnEvent implements sim.Actor.
+func (r *replayRun) OnEvent(op int32, arg any) {
+	switch op {
+	case opReplayStart:
+		rf := arg.(*replayFlow)
+		cfg := r.template
+		cfg.TotalSegments = rf.size
+		f := r.d.AddFlow(rf.st, cfg)
+		rf.rec.Start = r.sched.Now()
+		f.Receiver.OnComplete = func(now units.Time) {
+			rf.rec.Completed = now
+			r.sched.PostAfter(f.Station.RTT, r, opReplayRemove, f)
+		}
+		f.Sender.Start()
+	case opReplayRemove:
+		r.d.RemoveFlow(arg.(*topology.Flow))
+	}
+}
+
 // Replay schedules every flow of a trace across the dumbbell's stations
 // (round-robin) and returns the records, which fill in as flows complete.
-// The trace's start times are relative to the current simulated time.
+// The trace's start offsets are anchored at the current simulated time.
 func Replay(d *topology.Dumbbell, specs []FlowSpec, template tcp.Config) []*FlowRecord {
 	sched := d.Config().Sched
 	base := sched.Now()
+	run := &replayRun{d: d, sched: sched, template: template}
 	records := make([]*FlowRecord, len(specs))
 	for i, spec := range specs {
-		i, spec := i, spec
 		rec := &FlowRecord{Size: spec.Size, Completed: units.Never}
 		records[i] = rec
-		st := d.Station(i % d.NumStations())
-		sched.At(base+spec.Start, func() {
-			cfg := template
-			cfg.TotalSegments = spec.Size
-			f := d.AddFlow(st, cfg)
-			rec.Start = sched.Now()
-			f.Receiver.OnComplete = func(now units.Time) {
-				rec.Completed = now
-				sched.After(f.Station.RTT, func() { d.RemoveFlow(f) })
-			}
-			f.Sender.Start()
-		})
+		rf := &replayFlow{size: spec.Size, st: d.Station(i % d.NumStations()), rec: rec}
+		sched.PostAt(base.Add(spec.Start), run, opReplayStart, rf)
 	}
 	return records
 }

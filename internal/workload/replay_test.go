@@ -27,10 +27,10 @@ start_seconds,size_segments
 	if specs[0].Size != 4 || specs[1].Size != 10 || specs[2].Size != 100 {
 		t.Errorf("order wrong: %+v", specs)
 	}
-	if specs[0].Start != units.Time(100*units.Millisecond) {
+	if specs[0].Start != 100*units.Millisecond {
 		t.Errorf("start = %v", specs[0].Start)
 	}
-	if specs[2].Start != units.Time(2250*units.Millisecond) {
+	if specs[2].Start != 2250*units.Millisecond {
 		t.Errorf("start = %v", specs[2].Start)
 	}
 }
@@ -59,8 +59,8 @@ func TestReplayRunsTrace(t *testing.T) {
 	s, d, _ := testDumbbell(5, 200, 10*units.Mbps)
 	specs := []FlowSpec{
 		{Start: 0, Size: 10},
-		{Start: units.Time(500 * units.Millisecond), Size: 20},
-		{Start: units.Time(units.Second), Size: 5},
+		{Start: 500 * units.Millisecond, Size: 20},
+		{Start: units.Second, Size: 5},
 	}
 	records := Replay(d, specs, tcp.Config{SegmentSize: 1000, MaxWindow: 43})
 	s.Run(units.Time(20 * units.Second))
@@ -72,7 +72,7 @@ func TestReplayRunsTrace(t *testing.T) {
 			t.Errorf("flow %d never completed", i)
 			continue
 		}
-		if r.Start < specs[i].Start {
+		if r.Start < units.Epoch.Add(specs[i].Start) {
 			t.Errorf("flow %d started at %v before its trace time %v", i, r.Start, specs[i].Start)
 		}
 		if r.Completed <= r.Start {
@@ -80,7 +80,7 @@ func TestReplayRunsTrace(t *testing.T) {
 		}
 	}
 	// Start times respect the trace (within scheduling exactness).
-	if records[1].Start != specs[1].Start {
+	if records[1].Start != units.Epoch.Add(specs[1].Start) {
 		t.Errorf("flow 1 start = %v, want %v", records[1].Start, specs[1].Start)
 	}
 }

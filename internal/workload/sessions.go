@@ -48,6 +48,24 @@ type Sessions struct {
 	Records   []*FlowRecord
 }
 
+// Sessions event opcodes (see sim.Actor).
+const (
+	opSessionTransfer int32 = iota // arg: *topology.Station
+	opSessionRemove                // arg: *topology.Flow
+)
+
+// OnEvent implements sim.Actor: session recycling runs through the
+// kernel's typed-event path, so a large session population schedules no
+// per-event closures.
+func (g *Sessions) OnEvent(op int32, arg any) {
+	switch op {
+	case opSessionTransfer:
+		g.transfer(arg.(*topology.Station))
+	case opSessionRemove:
+		g.cfg.Dumbbell.RemoveFlow(arg.(*topology.Flow))
+	}
+}
+
 // NewSessions returns a stopped source; call Start.
 func NewSessions(cfg SessionConfig) *Sessions {
 	if cfg.Dumbbell == nil || cfg.RNG == nil || cfg.Sizes == nil {
@@ -72,7 +90,7 @@ func (g *Sessions) Start() {
 	for i := 0; i < g.cfg.Sessions; i++ {
 		station := g.cfg.Dumbbell.Station(i % g.cfg.Dumbbell.NumStations())
 		delay := units.DurationFromSeconds(g.cfg.RNG.Exp(g.cfg.MeanThink.Seconds()))
-		g.sched.After(delay, func() { g.transfer(station) })
+		g.sched.PostAfter(delay, g, opSessionTransfer, station)
 	}
 }
 
@@ -101,9 +119,9 @@ func (g *Sessions) transfer(station *topology.Station) {
 		g.Transfers++
 		// Give the final ACK time to drain, then recycle the session
 		// after its think pause.
-		g.sched.After(f.Station.RTT, func() { d.RemoveFlow(f) })
+		g.sched.PostAfter(f.Station.RTT, g, opSessionRemove, f)
 		think := units.DurationFromSeconds(g.cfg.RNG.Exp(g.cfg.MeanThink.Seconds()))
-		g.sched.After(think, func() { g.transfer(station) })
+		g.sched.PostAfter(think, g, opSessionTransfer, station)
 	}
 	f.Sender.Start()
 }

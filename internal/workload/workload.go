@@ -98,8 +98,7 @@ func StartLongLived(d *topology.Dumbbell, n int, spec tcp.Config, rng *sim.RNG, 
 		if stagger > 0 {
 			at = at.Add(units.Duration(rng.Uniform(0, float64(stagger))))
 		}
-		snd := f.Sender
-		sched.At(at, snd.Start)
+		sched.PostAt(at, f.Sender, tcp.OpStart, nil)
 	}
 	return flows
 }
@@ -165,7 +164,7 @@ func NewShortFlows(cfg ShortFlowConfig) *ShortFlows {
 	}
 	seg := cfg.TCP.SegmentSize
 	if seg == 0 {
-		seg = 1000
+		seg = units.DefaultSegment
 	}
 	c := float64(cfg.Dumbbell.Config().BottleneckRate)
 	segsPerSec := cfg.Load * c / float64(seg.Bits())

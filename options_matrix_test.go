@@ -50,9 +50,9 @@ var matrixEntryPoints = []struct {
 		return SimulateTrace(TraceSimulation{
 			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
 			Flows: []TraceFlow{
-				{Start: Time(0), Size: 10},
-				{Start: Time(100 * Millisecond), Size: 30},
-				{Start: Time(300 * Millisecond), Size: 5},
+				{Start: 0, Size: 10},
+				{Start: 100 * Millisecond, Size: 30},
+				{Start: 300 * Millisecond, Size: 5},
 			},
 			BufferPackets: 30,
 		}, opts...)
