@@ -5,7 +5,7 @@ GO  ?= go
 BIN := bin
 
 .PHONY: all build fmt-check lint vet test short race mutation fuzz-smoke \
-        bench-smoke golden bench clean
+        bench-smoke golden bench bench-gate clean
 
 all: build lint test
 
@@ -63,6 +63,13 @@ golden:
 # baseline (reference numbers come from a quiet machine at GOMAXPROCS=1).
 bench:
 	GOMAXPROCS=1 $(GO) run ./bench -out BENCH_kernel_ci.json -baseline BENCH_kernel.json
+
+# bench-gate re-measures and fails if events/sec fell more than 5%
+# below the checked-in BENCH_kernel.json — the budget the pluggable
+# congestion-control indirection (and any future abstraction on the
+# per-event path) must fit within.
+bench-gate:
+	GOMAXPROCS=1 $(GO) run ./bench -out BENCH_kernel_ci.json -gate BENCH_kernel.json
 
 clean:
 	rm -rf $(BIN) BENCH_kernel_ci.json

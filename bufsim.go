@@ -20,7 +20,8 @@
 //     Link{...}.ShortFlowBuffer(load, pDrop, flowLen, maxWindow).
 //
 //   - Packet-level simulation: Simulate (many long-lived flows, with
-//     Reno/NewReno/SACK/Tahoe, pacing, RED and delayed-ACK switches),
+//     pluggable congestion control — Reno/NewReno/SACK/Tahoe/CUBIC/BBR —
+//     plus pacing, RED and delayed-ACK switches),
 //     SimulateSingleFlow (the classic sawtooth, with time series),
 //     SimulateShortFlows (Poisson short flows, flow-completion times),
 //     SimulateMix (long + short flows competing, the Fig. 9 trade), and
@@ -34,15 +35,16 @@
 // corresponding config fields, and every result implements the Result
 // interface (Table, WriteJSON). The options matrix:
 //
-//	option           Simulate  SimulateReplicated  SingleFlow  ShortFlows  Mix  Trace
-//	WithVariant         yes           yes             yes         yes      yes   yes
-//	WithPacing          yes           yes             yes         yes      yes   yes
-//	WithDelayedACK      yes           yes             yes         yes      yes   yes
-//	WithRED             yes           yes             yes         yes      yes   yes
-//	WithMetrics         yes           yes             yes         yes      yes   yes
-//	WithAudit           yes           yes             yes         yes      yes   yes
-//	WithCache           yes           yes             yes         yes      yes   yes
-//	WithParallelism      -            yes              -           -        -     -
+//	option                  Simulate  SimulateReplicated  SingleFlow  ShortFlows  Mix  Trace
+//	WithCongestionControl      yes           yes             yes         yes      yes   yes
+//	WithVariant (alias)        yes           yes             yes         yes      yes   yes
+//	WithPacing                 yes           yes             yes         yes      yes   yes
+//	WithDelayedACK             yes           yes             yes         yes      yes   yes
+//	WithRED                    yes           yes             yes         yes      yes   yes
+//	WithMetrics                yes           yes             yes         yes      yes   yes
+//	WithAudit                  yes           yes             yes         yes      yes   yes
+//	WithCache                  yes           yes             yes         yes      yes   yes
+//	WithParallelism             -            yes              -           -        -     -
 //
 // WithRED switches the scenario's bottleneck queue from drop-tail to
 // Random Early Detection sized to the same buffer; scenarios whose buffer
@@ -71,19 +73,31 @@ import (
 // Variant selects the TCP congestion-control flavour for simulations.
 type Variant = tcp.Variant
 
-// Congestion-control variants.
+// Congestion-control variants. Reno, Tahoe, NewReno and SACK are the
+// classic loss-based window algorithms the paper studied; Cubic and BBR
+// are the modern families the updated buffer-sizing theory compares
+// against the sqrt rule.
 const (
 	Reno    = tcp.Reno
 	Tahoe   = tcp.Tahoe
 	NewReno = tcp.NewReno
 	Sack    = tcp.Sack
+	Cubic   = tcp.Cubic
+	BBR     = tcp.BBR
 )
 
-// ParseVariant parses "reno", "tahoe", "newreno" or "sack"
-// (case-insensitive; empty parses as Reno). Variant also implements
+// ParseVariant parses a congestion-control name — "reno", "tahoe",
+// "newreno", "sack", "cubic" or "bbr", case-insensitive, with common
+// aliases like "new-reno" and "bbrv1" — into a Variant. The empty
+// string parses as Reno, the zero value, so optional config fields
+// round-trip. Variant also implements
 // encoding.TextMarshaler/TextUnmarshaler, so JSON configs can carry the
 // name directly.
 func ParseVariant(s string) (Variant, error) { return tcp.ParseVariant(s) }
+
+// VariantNames lists the canonical names of every registered
+// congestion-control variant, in declaration order.
+func VariantNames() []string { return tcp.VariantNames() }
 
 // Re-exported quantity types, so callers need no internal imports.
 type (

@@ -4,14 +4,27 @@
 // rules.
 //
 //	bufsearch -rate 155Mbps -rtt 100ms -flows 300 -target 0.995
+//
+// -variant selects the congestion control the searched flows run
+// (reno, tahoe, newreno, sack, cubic, bbr). -compare-cc instead sweeps
+// every registered family at once and reports each one's minimum buffer
+// against the sqrt rule — the updated-buffer-sizing-theory comparison;
+// in that mode -target is the fraction of each family's own attainable
+// utilization (rate-based controllers never reach an absolute 98%).
+//
+//	bufsearch -rate 155Mbps -flows 100,300 -compare-cc
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
+	"strings"
 
 	"bufsim/internal/experiment"
+	"bufsim/internal/tcp"
 	"bufsim/internal/units"
 )
 
@@ -23,8 +36,10 @@ func main() {
 		rateStr   = flag.String("rate", "155Mbps", "bottleneck capacity C")
 		rttStr    = flag.String("rtt", "100ms", "mean two-way propagation delay")
 		spreadStr = flag.String("rtt-spread", "40ms", "RTT heterogeneity across flows")
-		flows     = flag.Int("flows", 300, "number of long-lived TCP flows")
-		target    = flag.Float64("target", 0.98, "utilization target in (0,1)")
+		flowsStr  = flag.String("flows", "300", "number of long-lived TCP flows (comma-separated list with -compare-cc)")
+		target    = flag.Float64("target", 0.98, "utilization target in (0,1); with -compare-cc, relative to each family's ceiling")
+		varStr    = flag.String("variant", "reno", "congestion control variant ("+strings.Join(tcp.VariantNames(), ", ")+")")
+		compareCC = flag.Bool("compare-cc", false, "compare the min buffer of every CC family against the sqrt rule")
 		segment   = flag.Int("segment", int(units.DefaultSegment), "segment size in bytes")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		warmStr   = flag.String("warmup", "15s", "simulated warmup to discard")
@@ -57,9 +72,43 @@ func main() {
 	if *target <= 0 || *target >= 1 {
 		log.Fatal("-target must be in (0,1)")
 	}
-	if *flows <= 0 {
-		log.Fatal("-flows must be positive")
+	variant, err := tcp.ParseVariant(*varStr)
+	if err != nil {
+		log.Fatal(err)
 	}
+	var flowCounts []int
+	for _, s := range strings.Split(*flowsStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("-flows: %q is not a positive flow count", s)
+		}
+		flowCounts = append(flowCounts, n)
+	}
+
+	if *compareCC {
+		table := experiment.RunCCFamily(experiment.CCFamilyConfig{
+			Seed:           *seed,
+			Ns:             flowCounts,
+			BottleneckRate: rate,
+			RTTMin:         rtt - spread/2,
+			RTTMax:         rtt + spread/2,
+			SegmentSize:    units.ByteSize(*segment),
+			Target:         *target,
+			Warmup:         warmup,
+			Measure:        measure,
+			Parallelism:    *par,
+		})
+		fmt.Printf("min buffer per CC family at %.0f%% of each family's ceiling: %v, RTT %v\n",
+			100**target, rate, rtt)
+		if err := experiment.Render(os.Stdout, table); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(flowCounts) != 1 {
+		log.Fatal("-flows takes a single count unless -compare-cc is set")
+	}
+	flows := &flowCounts[0]
 
 	bdp := units.PacketsInFlight(rate, rtt, units.ByteSize(*segment))
 	sqrtRule := experiment.SqrtRuleBuffer(float64(bdp), *flows)
@@ -72,11 +121,12 @@ func main() {
 		SegmentSize:    units.ByteSize(*segment),
 		Warmup:         warmup,
 		Measure:        measure,
+		Variant:        variant,
 		Parallelism:    *par,
 	}
 
-	fmt.Printf("searching min buffer for %.1f%% utilization: %v, RTT %v, %d flows\n",
-		100**target, rate, rtt, *flows)
+	fmt.Printf("searching min buffer for %.1f%% utilization: %v, RTT %v, %d %v flows\n",
+		100**target, rate, rtt, *flows, variant)
 	fmt.Printf("rule of thumb %d pkts; RTTxC/sqrt(n) %d pkts\n", bdp, sqrtRule)
 	fmt.Printf("each probe simulates %v (+%v warmup)...\n", measure, warmup)
 

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 
 	"bufsim"
 )
@@ -37,7 +38,7 @@ func main() {
 		warmStr   = flag.String("warmup", "20s", "simulated warmup to discard")
 		measStr   = flag.String("measure", "40s", "simulated measurement window")
 		red       = flag.Bool("red", false, "use RED instead of drop-tail")
-		variant   = flag.String("variant", "reno", "TCP flavour: reno, newreno, sack, tahoe")
+		variant   = flag.String("variant", "reno", "TCP flavour: "+strings.Join(bufsim.VariantNames(), ", "))
 		paced     = flag.Bool("paced", false, "pace sender transmissions across the RTT")
 		skipSim   = flag.Bool("no-sim", false, "print the sizing rules only")
 		config    = flag.String("config", "", "JSON scenario file (overrides the other flags)")

@@ -19,6 +19,10 @@ import (
 //	  "variant": "sack", "paced": false, "delayedAck": false,
 //	  "seed": 1, "warmup": "20s", "measure": "40s"
 //	}
+//
+// "variant" takes any registered congestion-control name — reno, tahoe,
+// newreno, sack, cubic, bbr (see bufsim.VariantNames) — or an alias
+// like "new-reno" or "bbrv1".
 type scenarioFile struct {
 	Rate         string  `json:"rate"`
 	RTT          string  `json:"rtt"`

@@ -68,7 +68,7 @@ func TestLoadScenarioErrors(t *testing.T) {
 		"bad rtt":        `{"rate": "10Mbps", "rtt": "late", "flows": 10}`,
 		"zero flows":     `{"rate": "10Mbps"}`,
 		"unknown field":  `{"rate": "10Mbps", "flows": 10, "bandwidth": 5}`,
-		"bad variant":    `{"rate": "10Mbps", "flows": 10, "variant": "cubic"}`,
+		"bad variant":    `{"rate": "10Mbps", "flows": 10, "variant": "vegas"}`,
 		"malformed json": `{"rate": `,
 	}
 	for name, body := range cases {

@@ -25,6 +25,8 @@
 //	paperexp -exp ecn        RED marking vs dropping
 //	paperexp -exp harpoon    closed-loop session traffic (§5.2 methodology)
 //	paperexp -exp rttspread  RTT heterogeneity vs synchronization (§3)
+//	paperexp -exp ccfamilies buffer requirement vs n per CC family
+//	                         (CUBIC and BBR against the 2004 sqrt rule)
 //	paperexp -exp all        everything above
 //
 // -quick shrinks every experiment (lower rates, fewer points, shorter
@@ -57,7 +59,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperexp: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig2..fig11, sync, red, pareto, an extension such as variants, codel or ccfamilies — see the doc comment for the full list — or all)")
 		quick    = flag.Bool("quick", false, "scaled-down parameters for a fast run")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
@@ -118,7 +120,8 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "sync", "red", "pareto", "pacing", "smooth", "internet2",
-			"multihop", "variants", "ecn", "harpoon", "rttspread", "codel"}
+			"multihop", "variants", "ecn", "harpoon", "rttspread", "codel",
+			"ccfamilies"}
 	}
 	// The run manifest records which experiments of this exact invocation
 	// have already printed their output, so -resume skips straight to the
@@ -273,6 +276,8 @@ func (r runner) run(id string) error {
 		return r.rttSpread()
 	case "codel":
 		return r.codel()
+	case "ccfamilies":
+		return r.ccFamilies()
 	case "smooth":
 		return r.smoothing()
 	default:
@@ -592,6 +597,66 @@ func (r runner) codel() error {
 	}
 	rows := experiment.RunCoDel(cfg)
 	return experiment.Render(os.Stdout, rows)
+}
+
+// ccFamilies is the updated-theory figure: the buffer each
+// congestion-control family needs to reach (a fraction of) its own
+// attainable utilization, as the flow count grows, against the 2004
+// rule RTTxC/sqrt(n). Loss-based families track the rule; BBR's curve
+// decouples from it.
+func (r runner) ccFamilies() error {
+	cfg := experiment.CCFamilyConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
+	if r.quick {
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Ns = []int{25, 50, 100}
+		cfg.Warmup, cfg.Measure = 8*units.Second, 15*units.Second
+	}
+	table := experiment.RunCCFamily(cfg)
+	r.mergeMetrics("ccfamilies", cfg.Metrics)
+	if err := experiment.Render(os.Stdout, table); err != nil {
+		return err
+	}
+
+	byVariant := map[string]*trace.Series{}
+	var order []string
+	rule := &trace.Series{Name: "sqrt_rule"}
+	seenN := map[int]bool{}
+	for _, p := range table {
+		name := p.Variant.String()
+		s, ok := byVariant[name]
+		if !ok {
+			s = &trace.Series{Name: name}
+			byVariant[name] = s
+			order = append(order, name)
+		}
+		s.Times = append(s.Times, float64(p.N))
+		s.Values = append(s.Values, float64(p.MinBuffer))
+		if !seenN[p.N] {
+			seenN[p.N] = true
+			rule.Times = append(rule.Times, float64(p.N))
+			rule.Values = append(rule.Values, float64(p.SqrtRule))
+		}
+	}
+	series := make([]*trace.Series, 0, len(order)+1)
+	for _, name := range order {
+		series = append(series, byVariant[name])
+	}
+	series = append(series, rule)
+	if err := r.writeCSV("ccfamilies_min_buffer", series...); err != nil {
+		return err
+	}
+
+	chart := &plot.Chart{
+		Title:  "Required buffer vs flows across congestion-control families",
+		XLabel: "flows n", YLabel: "buffer (packets)",
+		XLog: true, YLog: true,
+	}
+	for _, name := range order {
+		s := byVariant[name]
+		chart.Add("min buffer ("+name+")", plot.LinePoints, s.Times, s.Values)
+	}
+	chart.Add("RTTxC/sqrt(n)", plot.Line, rule.Times, rule.Values)
+	return r.writeSVG("ccfamilies_min_buffer", chart)
 }
 
 func (r runner) rttSpread() error {

@@ -18,7 +18,7 @@ func TestRunnerQuickExperiments(t *testing.T) {
 	dir := t.TempDir()
 	r := runner{quick: true, seed: 1, csvDir: filepath.Join(dir, "csv"), svgDir: filepath.Join(dir, "svg")}
 
-	for _, id := range []string{"fig2", "fig6", "ecn", "multihop", "variants", "codel"} {
+	for _, id := range []string{"fig2", "fig6", "ecn", "multihop", "variants", "codel", "ccfamilies"} {
 		if err := r.run(id); err != nil {
 			t.Fatalf("run(%q): %v", id, err)
 		}
@@ -30,6 +30,8 @@ func TestRunnerQuickExperiments(t *testing.T) {
 		"svg/fig2_rule_of_thumb.svg",
 		"csv/fig6_window_distribution.csv",
 		"svg/fig6_window_distribution.svg",
+		"csv/ccfamilies_min_buffer.csv",
+		"svg/ccfamilies_min_buffer.svg",
 	} {
 		path := filepath.Join(dir, want)
 		data, err := os.ReadFile(path)

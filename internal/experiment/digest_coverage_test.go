@@ -35,8 +35,17 @@ var digestConfigs = []any{
 	BackboneConfig{},
 	PacingConfig{},
 	SmoothingConfig{},
+	CCFamilyConfig{},
+	ccFamilyPointConfig{},
 	MultiHopConfig{},
 	HarpoonConfig{},
+}
+
+// ignoredFieldNames mirrors digestIgnore: the observation-only field
+// names excluded from the digest at any nesting depth.
+var ignoredFieldNames = map[string]bool{
+	"Metrics": true, "Audit": true, "Cache": true,
+	"Resume": true, "Parallelism": true, "Ctx": true,
 }
 
 // TestDigestCoversEveryField is the cache's completeness contract,
@@ -113,9 +122,14 @@ func setNonZero(t *testing.T, name string, v reflect.Value) {
 		v.Set(reflect.Append(reflect.MakeSlice(v.Type(), 0, 1), elem))
 	case reflect.Struct:
 		for i := 0; i < v.NumField(); i++ {
-			if v.Type().Field(i).IsExported() {
-				setNonZero(t, name, v.Field(i))
+			f := v.Type().Field(i)
+			// Nested configs (a grid-point key embedding a scenario)
+			// carry the same observation-only fields as top-level ones;
+			// digestIgnore strips them at any depth, so skip them here.
+			if !f.IsExported() || ignoredFieldNames[f.Name] {
+				continue
 			}
+			setNonZero(t, name, v.Field(i))
 		}
 	case reflect.Interface:
 		// The one semantic interface in the configs is the flow-size

@@ -77,6 +77,31 @@ var goldenDigestCases = []struct {
 		},
 	},
 	{
+		name: "long_lived_cubic",
+		want: "ab78bc44d4975a329be3f3ec6741da5db68ee9fab99884d6ac46f400277c002a",
+		run: func(cache *runcache.Store) any {
+			return RunLongLived(LongLivedConfig{
+				Seed: 13, N: 24, BottleneckRate: 20 * units.Mbps,
+				BufferPackets: 40, Variant: 4, /* Cubic */
+				Warmup: 4 * units.Second, Measure: 8 * units.Second,
+				Cache: cache,
+			})
+		},
+	},
+	{
+		name: "long_lived_bbr",
+		want: "0297c3f652b500fdf658e2897ab901e0bd099c9f9495a931b795e393fc53c5fd",
+		run: func(cache *runcache.Store) any {
+			return RunLongLived(LongLivedConfig{
+				Seed: 17, N: 16, BottleneckRate: 20 * units.Mbps,
+				BufferPackets: 30, Variant: 5, /* BBR */
+				DelayedAck: true,
+				Warmup:     4 * units.Second, Measure: 8 * units.Second,
+				Cache: cache,
+			})
+		},
+	},
+	{
 		name: "single_flow_sawtooth",
 		want: "b944849af08fc27334a6d438a21a7c1c3a3888914de021470ff0720238a5d273",
 		run: func(cache *runcache.Store) any {

@@ -36,6 +36,40 @@ type goodNested struct {
 	Depth int
 }
 
+// Flavor mirrors a registry-driven enum such as a congestion-control
+// variant: a named integer is a scalar to the digest, alone, in a
+// slice, or as a map key.
+type Flavor int
+
+// PointConfig mirrors a sweep grid point that embeds a full scenario
+// config: IgnoreFields applies at any depth of the walk, so the nested
+// observer fields below must be honoured, not reported.
+type PointConfig struct {
+	Scenario scenarioConfig
+	Variants []Flavor
+	ByFlavor map[Flavor]float64
+	Target   float64
+}
+
+// scenarioConfig is unexported, so it is only checked through the
+// exported configs that reach it.
+type scenarioConfig struct {
+	N        int
+	Variant  Flavor
+	Observer func(int)       // ignored at depth by the package IgnoreFields set
+	Ctx      context.Context // ignored at depth
+}
+
+// RateConfig mirrors a rate-driven controller config whose pacing hook
+// was never registered in IgnoreFields: a func-typed knob silently
+// disappears from the cache key, which is exactly the hazard this
+// analyzer exists to catch.
+type RateConfig struct {
+	Gain       float64
+	MinRTT     units.Duration
+	PacingHook func(float64) // want `RateConfig\.PacingHook \(kind func\) is silently skipped by the runcache digest`
+}
+
 // BadConfig collects the hazards.
 type BadConfig struct {
 	Hook  func()            // want `BadConfig\.Hook \(kind func\) is silently skipped by the runcache digest`

@@ -72,6 +72,29 @@ func slices() []units.Duration {
 	}
 }
 
+// ccSpec mirrors a congestion-control config: rate-based controllers
+// carry both time-domain knobs (min-RTT window, probe interval) and a
+// pacing rate, so they are prime territory for bare literals and for
+// laundering a BitRate into a Duration.
+type ccSpec struct {
+	MinRTTWindow  units.Duration
+	ProbeInterval units.Duration
+	PacingRate    units.BitRate
+}
+
+func badCC() ccSpec {
+	return ccSpec{
+		MinRTTWindow:  10 * units.Second,
+		ProbeInterval: 200, // want `bare literal 200 in field ProbeInterval where units\.Duration is expected`
+		PacingRate:    25 * units.Mbps,
+	}
+}
+
+func paceFrom(r units.BitRate, w units.Duration) units.Duration {
+	_ = units.Duration(r) // want `direct conversion units\.BitRate -> units\.Duration`
+	return w
+}
+
 func suppressed() units.ByteSize {
 	//lint:ignore unitsafety fixture: demonstrating the suppression path
 	return 1480

@@ -29,10 +29,20 @@ func (s *Sender) auditAck(ack int64, now units.Time) {
 }
 
 // auditState checks the sender's steady invariants after an ACK or
-// timeout has been processed.
+// timeout has been processed. The window invariants are phrased against
+// the CongestionControl interface, so they hold for any controller:
+// cwnd-driven variants must keep their window at one segment or more,
+// and rate-driven variants must additionally produce a sane (non-
+// negative) pacing interval whenever they are asked for one.
 func (s *Sender) auditState(now units.Time) {
-	if s.cwnd < 1 {
-		s.aud.Violationf(now, s.audName(), "cwnd-floor", "cwnd %.3f < 1", s.cwnd)
+	if w := s.cc.Window(); w < 1 {
+		s.aud.Violationf(now, s.audName(), "cwnd-floor", "cwnd %.3f < 1", w)
+	}
+	if s.cc.RateDriven() {
+		if iv := s.cc.PaceInterval(s.srtt); iv < 0 {
+			s.aud.Violationf(now, s.audName(), "pace-positive",
+				"pacing interval %v < 0", iv)
+		}
 	}
 	if s.sndUna < s.audUna {
 		s.aud.Violationf(now, s.audName(), "cumack-monotone",
@@ -64,9 +74,9 @@ func (s *Sender) auditState(now units.Time) {
 // (after a window reduction, old outstanding data may exceed the
 // shrunken window; explicit retransmissions of it must not be flagged).
 func (s *Sender) auditSend(seq int64, isRetransmit bool, now units.Time) {
-	if !isRetransmit && seq >= s.sndUna+s.window() {
+	if !isRetransmit && seq >= s.sndUna+s.UsableWindow() {
 		s.aud.Violationf(now, s.audName(), "window-respected",
-			"segment %d sent with sndUna %d and window %d", seq, s.sndUna, s.window())
+			"segment %d sent with sndUna %d and window %d", seq, s.sndUna, s.UsableWindow())
 	}
 	if seq+1 > s.audMaxSeq {
 		s.audMaxSeq = seq + 1

@@ -1,0 +1,233 @@
+package tcp
+
+import (
+	"testing"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/units"
+)
+
+// TestCubicReducesByBeta: a loss must multiply the window by the CUBIC
+// beta (0.7), not Reno's 0.5 — the gentler decrease is the reason CUBIC
+// needs less buffer than the sqrt rule predicts.
+func TestCubicReducesByBeta(t *testing.T) {
+	dropSeq, dropped := int64(40), false
+	c := newConn(Config{Flow: 1, Variant: Cubic})
+	var before float64
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() && p.Seq == dropSeq && !dropped {
+			dropped = true
+			before = c.snd.Cwnd()
+			return true
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(2 * units.Second))
+	if !dropped {
+		t.Fatal("drop never triggered")
+	}
+	// The window keeps growing between the drop and the third dupack, so
+	// anchor the check on the controller's own W_max (the window at
+	// reduction time): ssthresh must be beta x W_max, not half of it.
+	cc := c.snd.cc.(*cubicCC)
+	if cc.wMax < before {
+		t.Errorf("wMax = %v, below the window at drop time %v", cc.wMax, before)
+	}
+	want := cc.wMax * cubicBeta
+	if got := cc.ssthresh; got < want*0.99 || got > want*1.01 {
+		t.Errorf("ssthresh after loss = %v, want %v (W_max %v x beta %v)", got, want, cc.wMax, cubicBeta)
+	}
+	if st := c.snd.Stats(); st.FastRecoveries != 1 {
+		t.Errorf("FastRecoveries = %d, want 1", st.FastRecoveries)
+	}
+}
+
+// TestCubicProbesBeyondWMax: after a loss anchors W_max, the cubic curve
+// is concave up to the anchor and convex beyond it — given time, the
+// window must pass its pre-loss size (unlike Reno's linear +1/RTT, which
+// this harness's short horizon would not carry that far alone... the
+// point here is only that growth does not stall at W_max).
+func TestCubicProbesBeyondWMax(t *testing.T) {
+	dropSeq, dropped := int64(60), false
+	var wMax float64
+	c := newConn(Config{Flow: 1, Variant: Cubic, MaxWindow: 512})
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() && p.Seq == dropSeq && !dropped {
+			dropped = true
+			wMax = c.snd.Cwnd()
+			return true
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(20 * units.Second))
+	if !dropped {
+		t.Fatal("drop never triggered")
+	}
+	if got := c.snd.Cwnd(); got <= wMax {
+		t.Errorf("cwnd = %v after 20s, never probed beyond W_max %v", got, wMax)
+	}
+}
+
+// TestCubicECNReduces: CUBIC honours the ECE echo with its own beta.
+func TestCubicECNReduces(t *testing.T) {
+	c := newConn(Config{Flow: 1, Variant: Cubic, ECN: true})
+	marking := false
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() && marking {
+			p.Flags |= packet.FlagCE
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(400 * units.Millisecond))
+	before := c.snd.Cwnd()
+	marking = true
+	c.sched.Run(units.Time(430 * units.Millisecond))
+	marking = false
+	c.sched.Run(units.Time(460 * units.Millisecond))
+	st := c.snd.Stats()
+	if st.ECNReductions != 1 {
+		t.Errorf("ECNReductions = %d, want 1 (one per RTT)", st.ECNReductions)
+	}
+	after := c.snd.Cwnd()
+	if after > before*0.85 || after < before*0.5 {
+		t.Errorf("cwnd %v -> %v, want reduced to ~beta (0.7)", before, after)
+	}
+	if st.Retransmits != 0 {
+		t.Errorf("ECN reduction retransmitted %d segments", st.Retransmits)
+	}
+}
+
+// TestBBRIsRateDriven: a BBR sender paces from its model without
+// Config.Paced, and its pacing intervals must be positive and finite.
+func TestBBRIsRateDriven(t *testing.T) {
+	c := newConn(Config{Flow: 1, Variant: BBR, TotalSegments: 400})
+	if !c.snd.CC().RateDriven() {
+		t.Fatal("BBR controller does not report RateDriven")
+	}
+	var lastSend units.Time
+	backToBack := 0
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() {
+			if now := c.sched.Now(); now == lastSend {
+				backToBack++
+			} else {
+				lastSend = now
+			}
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(30 * units.Second))
+	if !c.snd.Finished() {
+		t.Fatal("BBR flow did not finish")
+	}
+	// Before the first RTT sample there is no pacing basis, so the
+	// initial window (BBR's floor of 4) bursts at t=0; after that every
+	// send is spread out.
+	if backToBack > int(bbrMinCwnd) {
+		t.Errorf("%d same-instant sends, want pacing after the first window", backToBack)
+	}
+}
+
+// TestBBRCyclesPhases: on a lossless path the controller must leave
+// STARTUP once the delivery rate stops growing, DRAIN, and then cycle
+// PROBE_BW; with a 10s min-RTT window and a long enough run it must
+// also dip into PROBE_RTT.
+func TestBBRCyclesPhases(t *testing.T) {
+	// The pipe has no bottleneck, so MaxWindow is what makes the
+	// delivery rate plateau and STARTUP exit.
+	c := newConn(Config{Flow: 1, Variant: BBR, MaxWindow: 64})
+	c.snd.Start()
+	c.sched.Run(units.Time(15 * units.Second))
+	cc := c.snd.cc.(*bbrCC)
+	if cc.mode == bbrStartup {
+		t.Error("still in STARTUP after 15s on a steady path")
+	}
+	if cc.bwCount == 0 || cc.btlBw() <= 0 {
+		t.Errorf("no bandwidth samples in the filter (count %d)", cc.bwCount)
+	}
+	if !cc.haveMinRTT {
+		t.Error("no min-RTT estimate")
+	}
+	if cc.rounds == 0 {
+		t.Error("round counting never advanced")
+	}
+}
+
+// TestBBRLossDoesNotCollapseWindow: a single loss triggers retransmission
+// but must not multiplicatively decrease the model-derived window — loss
+// is not a congestion signal to BBRv1.
+func TestBBRLossDoesNotCollapseWindow(t *testing.T) {
+	dropSeq, dropped := int64(50), false
+	var before float64
+	c := newConn(Config{Flow: 1, Variant: BBR, MaxWindow: 64})
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() && p.Seq == dropSeq && !dropped {
+			dropped = true
+			before = c.snd.Cwnd()
+			return true
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(4 * units.Second))
+	if !dropped {
+		t.Fatal("drop never triggered")
+	}
+	st := c.snd.Stats()
+	if st.FastRecoveries != 1 {
+		t.Errorf("FastRecoveries = %d, want 1 (loss must still be repaired)", st.FastRecoveries)
+	}
+	if got := c.snd.Cwnd(); got < before*0.75 {
+		t.Errorf("cwnd %v -> %v after loss; BBR must not cut multiplicatively", before, got)
+	}
+}
+
+// TestBBRIgnoresECE: BBRv1 does not react to ECN marks.
+func TestBBRIgnoresECE(t *testing.T) {
+	c := newConn(Config{Flow: 1, Variant: BBR, ECN: true, TotalSegments: 200})
+	c.fwd.drop = func(p *packet.Packet) bool {
+		if !p.IsAck() {
+			p.Flags |= packet.FlagCE
+		}
+		return false
+	}
+	c.snd.Start()
+	c.sched.Run(units.Time(30 * units.Second))
+	if st := c.snd.Stats(); st.ECNReductions != 0 {
+		t.Errorf("BBR recorded %d ECN reductions, want 0", st.ECNReductions)
+	}
+	if !c.snd.Finished() {
+		t.Error("flow did not finish under continuous marking")
+	}
+}
+
+// TestModernVariantsCompleteUnderRandomLoss: both new controllers must
+// survive a lossy path end to end — recovery mechanics, RTO fallback and
+// completion bookkeeping all engaged.
+func TestModernVariantsCompleteUnderRandomLoss(t *testing.T) {
+	for _, v := range []Variant{Cubic, BBR} {
+		t.Run(v.String(), func(t *testing.T) {
+			c := newConn(Config{Flow: 1, Variant: v, TotalSegments: 300})
+			n := 0
+			c.fwd.drop = func(p *packet.Packet) bool {
+				if p.IsAck() {
+					return false
+				}
+				n++
+				return n%29 == 0 // deterministic ~3.4% loss
+			}
+			c.snd.Start()
+			c.sched.Run(units.Time(120 * units.Second))
+			if !c.snd.Finished() {
+				t.Fatalf("%v did not finish under loss: %+v", v, c.snd.Stats())
+			}
+			if c.rcv.ReceivedSegments != 300 {
+				t.Errorf("receiver got %d segments, want 300", c.rcv.ReceivedSegments)
+			}
+		})
+	}
+}

@@ -154,13 +154,13 @@ func (r *Receiver) onInOrder() {
 func (r *Receiver) sendAck() { r.sendAckFor(-1) }
 
 // sendAckFor emits a cumulative ACK; justArrived (or -1) orders the SACK
-// blocks freshest-first when the Sack variant is in use.
+// blocks freshest-first when the variant negotiates SACK.
 func (r *Receiver) sendAckFor(justArrived int64) {
 	r.unackedSegs = 0
 	r.sched.Cancel(r.delAck)
 	r.AcksSent++
 	var blocks [][2]int64
-	if r.cfg.Variant == Sack {
+	if r.cfg.Variant.generatesSack() {
 		blocks = sackBlocks(r.ooo, justArrived, 3)
 	}
 	flags := packet.FlagACK

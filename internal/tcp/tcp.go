@@ -1,8 +1,14 @@
 // Package tcp implements the TCP congestion-control dynamics the paper's
 // theory is about: slow start, AIMD congestion avoidance, fast retransmit
-// and fast recovery (Reno, with Tahoe and NewReno variants for ablation),
-// retransmission timeouts with RFC 6298-style RTT estimation, cumulative
-// ACKs and optional delayed ACKs.
+// and fast recovery (Reno, with Tahoe, NewReno and SACK variants for
+// ablation), CUBIC and a BBRv1-style rate-based controller for the
+// updated buffer-sizing theory, retransmission timeouts with RFC
+// 6298-style RTT estimation, cumulative ACKs and optional delayed ACKs.
+//
+// Congestion control is pluggable: the Sender owns connection mechanics
+// (sequence state, RTT estimation, timers, go-back-N, pacing dispatch)
+// and delegates policy to a CongestionControl selected by Config.Variant
+// — see cc.go for the hook contract and variant.go for the registry.
 //
 // Windows and sequence numbers are counted in fixed-size segments, exactly
 // as the paper presents them ("we will count window size in packets for
@@ -14,84 +20,12 @@ package tcp
 import (
 	"fmt"
 	"math"
-	"strings"
 
 	"bufsim/internal/audit"
 	"bufsim/internal/packet"
 	"bufsim/internal/sim"
 	"bufsim/internal/units"
 )
-
-// Variant selects the congestion-control flavour.
-type Variant int
-
-// Supported congestion-control variants.
-const (
-	// Reno: fast retransmit + fast recovery, exit recovery on the first
-	// new ACK. The paper's ns-2 experiments use Reno.
-	Reno Variant = iota
-	// Tahoe: fast retransmit but no fast recovery (window to 1).
-	Tahoe
-	// NewReno: Reno with partial-ACK retransmission during recovery.
-	NewReno
-	// Sack: selective acknowledgements with RFC 6675-style pipe-driven
-	// recovery — multiple holes repaired per round trip.
-	Sack
-)
-
-func (v Variant) String() string {
-	switch v {
-	case Reno:
-		return "reno"
-	case Tahoe:
-		return "tahoe"
-	case NewReno:
-		return "newreno"
-	case Sack:
-		return "sack"
-	default:
-		return fmt.Sprintf("variant(%d)", int(v))
-	}
-}
-
-// ParseVariant parses a congestion-control name: "reno", "tahoe",
-// "newreno" or "sack" (case-insensitive). The empty string parses as
-// Reno, the zero value, so optional config fields round-trip.
-func ParseVariant(s string) (Variant, error) {
-	switch strings.ToLower(s) {
-	case "", "reno":
-		return Reno, nil
-	case "tahoe":
-		return Tahoe, nil
-	case "newreno":
-		return NewReno, nil
-	case "sack":
-		return Sack, nil
-	default:
-		return Reno, fmt.Errorf("tcp: unknown variant %q (want reno, tahoe, newreno or sack)", s)
-	}
-}
-
-// MarshalText implements encoding.TextMarshaler, so a Variant renders as
-// its name in JSON scenario files rather than a bare integer.
-func (v Variant) MarshalText() ([]byte, error) {
-	switch v {
-	case Reno, Tahoe, NewReno, Sack:
-		return []byte(v.String()), nil
-	default:
-		return nil, fmt.Errorf("tcp: cannot marshal unknown variant %d", int(v))
-	}
-}
-
-// UnmarshalText implements encoding.TextUnmarshaler via ParseVariant.
-func (v *Variant) UnmarshalText(text []byte) error {
-	parsed, err := ParseVariant(string(text))
-	if err != nil {
-		return err
-	}
-	*v = parsed
-	return nil
-}
 
 // Config parameterizes one flow's sender and receiver.
 type Config struct {
@@ -128,7 +62,8 @@ type Config struct {
 	// (SRTT / window) apart instead of bursting on each ACK. The paper's
 	// technical report proposes pacing as the remedy when tiny buffers
 	// meet few or window-limited flows; the pacing ablation experiments
-	// use this switch. Retransmissions are never paced.
+	// use this switch. Rate-driven variants (BBR) pace regardless.
+	// Retransmissions are never paced.
 	Paced bool
 
 	// ECN marks data packets ECN-capable and halves the window (at most
@@ -183,11 +118,15 @@ type Stats struct {
 	Completed units.Time // all data acked (sender view); units.Never if not done
 }
 
-// Sender is the TCP source. Create with NewSender and call Start.
+// Sender is the TCP source. Create with NewSender and call Start. The
+// sender implements the connection mechanics; congestion-control policy
+// lives in its CongestionControl (see cc.go).
 type Sender struct {
 	cfg   Config
 	sched *sim.Scheduler
 	out   packet.Handler // the access link toward the network
+
+	cc CongestionControl
 
 	started  bool
 	finished bool
@@ -195,15 +134,9 @@ type Sender struct {
 	sndUna int64 // lowest unacknowledged segment
 	sndNxt int64 // next never-before-sent segment
 
-	cwnd     float64
-	ssthresh float64
-	dupAcks  int
-
-	inRecovery bool
-	recover    int64 // NewReno/Sack: highest segment outstanding when loss detected
-	ecnRecover int64 // next ECN-triggered reduction allowed when sndUna passes this
-
-	sb *sackScoreboard // non-nil for the Sack variant
+	// dupAcks counts consecutive duplicate ACKs toward the fast-
+	// retransmit threshold; controllers reset it through SenderOps.
+	dupAcks int
 
 	// RTT estimation (single-timer, Karn's algorithm).
 	srtt, rttvar units.Duration
@@ -265,15 +198,12 @@ func NewSender(cfg Config, sched *sim.Scheduler, out packet.Handler) *Sender {
 		cfg:    cfg,
 		sched:  sched,
 		out:    out,
-		cwnd:   float64(cfg.InitialCwnd),
 		rttSeq: -1,
 	}
-	s.ssthresh = float64(cfg.MaxWindow)
 	s.rto = cfg.InitialRTO
 	s.stats.Completed = units.Never
-	if cfg.Variant == Sack {
-		s.sb = newScoreboard()
-	}
+	s.cc = cfg.Variant.newCongestionControl()
+	s.cc.Init(s, cfg)
 	return s
 }
 
@@ -287,18 +217,23 @@ func (s *Sender) Start() {
 	s.trySend()
 }
 
-// Cwnd returns the congestion window in segments.
-func (s *Sender) Cwnd() float64 { return s.cwnd }
+// CC returns the sender's congestion controller.
+func (s *Sender) CC() CongestionControl { return s.cc }
+
+// Cwnd returns the congestion window in segments (for rate-driven
+// controllers, the inflight cap).
+func (s *Sender) Cwnd() float64 { return s.cc.Window() }
 
 // Ssthresh returns the slow-start threshold in segments.
-func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+func (s *Sender) Ssthresh() float64 { return s.cc.Ssthresh() }
 
 // Outstanding returns the number of unacknowledged segments in flight.
 func (s *Sender) Outstanding() int64 { return s.sndNxt - s.sndUna }
 
-// InSlowStart reports whether the flow is below ssthresh (the paper's
-// definition of a "short flow" is one that never leaves this state).
-func (s *Sender) InSlowStart() bool { return s.cwnd < s.ssthresh }
+// InSlowStart reports whether the flow is in its exponential-growth
+// phase (the paper's definition of a "short flow" is one that never
+// leaves this state).
+func (s *Sender) InSlowStart() bool { return s.cc.InSlowStart() }
 
 // Finished reports whether all data has been acknowledged.
 func (s *Sender) Finished() bool { return s.finished }
@@ -309,9 +244,22 @@ func (s *Sender) Stats() Stats { return s.stats }
 // Flow returns the flow ID.
 func (s *Sender) Flow() packet.FlowID { return s.cfg.Flow }
 
-// window returns the current usable window in whole segments.
-func (s *Sender) window() int64 {
-	w := math.Min(s.cwnd, float64(s.cfg.MaxWindow))
+// Now returns the current simulated time (SenderOps).
+func (s *Sender) Now() units.Time { return s.sched.Now() }
+
+// SndUna returns the lowest unacknowledged segment (SenderOps).
+func (s *Sender) SndUna() int64 { return s.sndUna }
+
+// SndNxt returns the next never-before-sent segment (SenderOps).
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// ResetDupAcks clears the duplicate-ACK counter (SenderOps).
+func (s *Sender) ResetDupAcks() { s.dupAcks = 0 }
+
+// UsableWindow returns the current usable window in whole segments: the
+// controller's window clamped to MaxWindow and floored at 1 (SenderOps).
+func (s *Sender) UsableWindow() int64 {
+	w := math.Min(s.cc.Window(), float64(s.cfg.MaxWindow))
 	if w < 1 {
 		w = 1
 	}
@@ -321,34 +269,55 @@ func (s *Sender) window() int64 {
 // longLived reports whether the flow has infinite data.
 func (s *Sender) longLived() bool { return s.cfg.TotalSegments <= 0 }
 
-// canSendNew reports whether the window and data supply allow a new
-// (never-before-sent) segment.
-func (s *Sender) canSendNew() bool {
-	return s.sndNxt < s.sndUna+s.window() &&
+// CanSendNew reports whether the window and data supply allow a new
+// (never-before-sent) segment (SenderOps).
+func (s *Sender) CanSendNew() bool {
+	return s.sndNxt < s.sndUna+s.UsableWindow() &&
 		(s.longLived() || s.sndNxt < s.cfg.TotalSegments)
 }
 
-// trySend transmits as many new segments as the window allows — either
+// SendNextNew unconditionally transmits the next new segment
+// (SenderOps; SACK's pipe accounting budgets its own sends).
+func (s *Sender) SendNextNew() {
+	s.transmit(s.sndNxt, false)
+	s.sndNxt++
+}
+
+// SendNew transmits as many new segments as the window allows — either
 // immediately (ACK-clocked bursts, classic TCP) or spread across pacing
-// intervals when Paced is set.
+// intervals when pacing is on (SenderOps).
+func (s *Sender) SendNew() { s.trySend() }
+
+// Retransmit puts segment seq back on the wire (SenderOps).
+func (s *Sender) Retransmit(seq int64) { s.transmit(seq, true) }
+
+// RestartRTO re-arms the retransmission timer (SenderOps).
+func (s *Sender) RestartRTO() { s.restartRTO() }
+
+// paced reports whether transmissions are spread out rather than
+// ACK-clocked: explicitly via Config.Paced, or inherently for
+// rate-driven controllers.
+func (s *Sender) paced() bool { return s.cfg.Paced || s.cc.RateDriven() }
+
+// trySend transmits as many new segments as the window allows.
 func (s *Sender) trySend() {
 	if s.finished {
 		return
 	}
-	if s.cfg.Paced && s.haveSRTT {
+	if s.paced() && s.haveSRTT {
 		s.schedulePaced()
 		return
 	}
-	for s.canSendNew() {
+	for s.CanSendNew() {
 		s.transmit(s.sndNxt, false)
 		s.sndNxt++
 	}
 }
 
-// paceInterval is the inter-send gap that spreads one window over one
-// smoothed RTT.
+// paceInterval is the controller's inter-send gap: SRTT spread over the
+// window for cwnd-driven variants, the modelled rate for BBR.
 func (s *Sender) paceInterval() units.Duration {
-	return units.Duration(int64(s.srtt) / s.window())
+	return s.cc.PaceInterval(s.srtt)
 }
 
 // schedulePaced arms the pacing timer for the next permitted send. The
@@ -358,7 +327,7 @@ func (s *Sender) schedulePaced() {
 	if s.sched.Active(s.paceTimer) {
 		return
 	}
-	if !s.canSendNew() {
+	if !s.CanSendNew() {
 		return
 	}
 	now := s.sched.Now()
@@ -370,7 +339,7 @@ func (s *Sender) schedulePaced() {
 }
 
 func (s *Sender) paceFire() {
-	if s.finished || !s.canSendNew() {
+	if s.finished || !s.CanSendNew() {
 		return
 	}
 	s.transmit(s.sndNxt, false)
@@ -443,11 +412,9 @@ func (s *Sender) Handle(p *packet.Packet) {
 	if s.aud != nil {
 		s.auditAck(p.Ack, s.sched.Now())
 	}
-	if s.sb != nil {
-		s.sb.update(p.Sack, s.sndUna)
-	}
-	if s.cfg.ECN && p.Flags&packet.FlagECE != 0 {
-		s.onECE()
+	s.cc.OnAckReceived(p)
+	if s.cfg.ECN && p.Flags&packet.FlagECE != 0 && s.cc.OnECE() {
+		s.stats.ECNReductions++
 	}
 	switch {
 	case p.Ack > s.sndUna:
@@ -467,51 +434,20 @@ func (s *Sender) onNewAck(ack int64) {
 	now := s.sched.Now()
 	acked := ack - s.sndUna
 	s.sndUna = ack
-	if s.sb != nil {
-		s.sb.advance(ack)
-	}
 
 	// RTT sample (Karn-safe: rttSeq is invalidated on retransmission).
 	if s.rttSeq >= 0 && ack > s.rttSeq {
-		s.sampleRTT(now.Sub(s.rttSentAt))
+		m := now.Sub(s.rttSentAt)
+		s.sampleRTT(m)
+		s.cc.OnRTTSample(m)
 		s.rttSeq = -1
 	}
 	s.backoff = 0
 
-	if s.inRecovery {
-		if s.cfg.Variant == Sack && ack <= s.recover {
-			// Partial ACK: the scoreboard knows the remaining holes;
-			// keep the window at ssthresh and fill the pipe.
-			s.restartRTO()
-			s.sackTrySend()
-			return
-		}
-		if s.cfg.Variant == NewReno && ack <= s.recover {
-			// Partial ACK: retransmit the next hole, deflate by the
-			// amount acked, stay in recovery.
-			s.transmit(s.sndUna, true)
-			s.cwnd = math.Max(s.cwnd-float64(acked)+1, 1)
-			s.dupAcks = 0
-			s.restartRTO()
-			s.trySend()
-			return
-		}
-		// Full ACK (or plain Reno): deflate and resume avoidance.
-		s.cwnd = s.ssthresh
-		s.inRecovery = false
-		s.dupAcks = 0
-	} else {
-		s.dupAcks = 0
-		for i := int64(0); i < acked; i++ {
-			if s.cwnd < s.ssthresh {
-				s.cwnd++ // slow start: +1 per ACKed segment
-			} else {
-				s.cwnd += 1 / s.cwnd // congestion avoidance: +1/W
-			}
-		}
-		if s.cwnd > float64(s.cfg.MaxWindow) {
-			s.cwnd = float64(s.cfg.MaxWindow)
-		}
+	if s.cc.OnAck(ack, acked) {
+		// The controller ran its own recovery transmissions
+		// (partial-ACK repair); the default tail does not apply.
+		return
 	}
 
 	if !s.longLived() && s.sndUna >= s.cfg.TotalSegments {
@@ -524,78 +460,17 @@ func (s *Sender) onNewAck(ack int64) {
 
 func (s *Sender) onDupAck() {
 	s.stats.DupAcksReceived++
-	if s.inRecovery {
-		if s.cfg.Variant == Sack {
-			s.sackTrySend()
-		} else if s.cfg.Variant != Tahoe {
-			// Window inflation: each dup ACK signals a departure.
-			s.cwnd++
-			s.trySend()
-		}
+	if s.cc.Recovering() {
+		s.cc.OnDupAck()
 		return
 	}
 	s.dupAcks++
-	if s.dupAcks < dupThresh && !(s.sb != nil && s.sb.lost(s.sndUna)) {
+	if s.dupAcks < dupThresh && !s.cc.LossIndicated() {
 		return
 	}
-	// Fast retransmit.
+	// Fast retransmit: the controller cuts and repairs.
 	s.stats.FastRecoveries++
-	flight := float64(s.Outstanding())
-	s.ssthresh = math.Max(flight/2, 2)
-	s.recover = s.sndNxt - 1
-	if s.cfg.Variant == Sack {
-		s.inRecovery = true
-		s.cwnd = s.ssthresh
-		s.transmit(s.sndUna, true)
-		s.sb.rtxed[s.sndUna] = true
-		s.restartRTO()
-		s.sackTrySend()
-		return
-	}
-	s.transmit(s.sndUna, true)
-	s.restartRTO()
-	if s.cfg.Variant == Tahoe {
-		s.cwnd = 1
-		s.dupAcks = 0
-		return
-	}
-	s.inRecovery = true
-	s.cwnd = s.ssthresh + 3
-	s.trySend()
-}
-
-// sackTrySend fills the pipe during SACK recovery: lowest unrepaired hole
-// first, then new data, never exceeding the window's worth of estimated
-// in-flight segments.
-func (s *Sender) sackTrySend() {
-	if s.finished {
-		return
-	}
-	for s.sb.pipe(s.sndUna, s.sndNxt) < s.window() {
-		if hole := s.sb.nextHole(s.sndUna, s.sndNxt); hole >= 0 {
-			s.transmit(hole, true)
-			s.sb.rtxed[hole] = true
-			continue
-		}
-		if !s.canSendNew() {
-			return
-		}
-		s.transmit(s.sndNxt, false)
-		s.sndNxt++
-	}
-}
-
-// onECE reacts to an echoed congestion mark: halve the window, like a
-// loss, but with nothing to retransmit. At most one reduction per round
-// trip, so a whole window of marked packets counts as one signal.
-func (s *Sender) onECE() {
-	if s.inRecovery || s.sndUna < s.ecnRecover {
-		return
-	}
-	s.stats.ECNReductions++
-	s.ssthresh = math.Max(s.cwnd/2, 2)
-	s.cwnd = s.ssthresh
-	s.ecnRecover = s.sndNxt
+	s.cc.OnLoss()
 }
 
 func (s *Sender) onTimeout() {
@@ -603,15 +478,10 @@ func (s *Sender) onTimeout() {
 		return
 	}
 	s.stats.Timeouts++
-	flight := float64(s.Outstanding())
-	s.ssthresh = math.Max(flight/2, 2)
-	s.cwnd = 1
+	// The controller sees the pre-rewind flight.
+	s.cc.OnTimeout()
 	s.dupAcks = 0
-	s.inRecovery = false
 	s.rttSeq = -1
-	if s.sb != nil {
-		s.sb.reset() // go-back-N supersedes the scoreboard
-	}
 	// Go-back-N: everything outstanding is presumed lost.
 	s.sndNxt = s.sndUna
 	if s.backoff < 16 {

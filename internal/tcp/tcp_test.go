@@ -97,9 +97,10 @@ func TestCongestionAvoidanceLinearGrowth(t *testing.T) {
 	c := newConn(cfg)
 	c.snd.Start()
 	c.sched.Run(units.Time(30 * units.Millisecond))
-	// Force CA from a known point.
-	c.snd.ssthresh = 4
-	c.snd.cwnd = 4
+	// Force CA from a known point (default variant: Reno).
+	cc := c.snd.cc.(*renoCC)
+	cc.ssthresh = 4
+	cc.cwnd = 4
 	start := c.snd.Cwnd()
 	// Over the next RTT, cwnd should grow by ~1 segment.
 	c.sched.Run(units.Time(50 * units.Millisecond))
@@ -177,7 +178,7 @@ func TestWindowHalvesOnFastRetransmit(t *testing.T) {
 		}
 	}
 	// Run until recovery exits.
-	for c.snd.inRecovery && c.sched.Now() < units.Time(5*units.Second) {
+	for c.snd.cc.Recovering() && c.sched.Now() < units.Time(5*units.Second) {
 		if !c.sched.Step() {
 			break
 		}

@@ -71,7 +71,7 @@ func (t *Telemetry) Track(s *Sender) {
 	prev := s.OnStateChange
 	hist := t.cwnd
 	s.OnStateChange = func(now units.Time) {
-		hist.Observe(s.cwnd)
+		hist.Observe(s.Cwnd())
 		if prev != nil {
 			prev(now)
 		}

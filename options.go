@@ -84,11 +84,19 @@ func applyOptions(opts []Option) options {
 	return o
 }
 
-// WithVariant selects the TCP congestion-control flavour
-// (Reno, Tahoe, NewReno or Sack).
-func WithVariant(v Variant) Option {
+// WithCongestionControl selects the congestion-control family the
+// scenario's senders run: the classic window-based variants (Reno,
+// Tahoe, NewReno, Sack) or the modern families (Cubic, BBR). Note the
+// zero Variant is Reno, so an unset config field and an explicit
+// WithCongestionControl(Reno) mean the same thing — configs round-trip
+// through JSON without a "was it set" sentinel.
+func WithCongestionControl(v Variant) Option {
 	return func(o *options) { o.variant = &v }
 }
+
+// WithVariant is an alias for WithCongestionControl, kept for callers
+// that predate the pluggable congestion-control interface.
+func WithVariant(v Variant) Option { return WithCongestionControl(v) }
 
 // WithPacing spreads each sender's transmissions across the RTT instead
 // of ACK-clocked back-to-back bursts.

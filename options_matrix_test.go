@@ -1,6 +1,7 @@
 package bufsim
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -93,6 +94,22 @@ func TestOptionsMatrix(t *testing.T) {
 				})
 			}
 
+			t.Run("WithCongestionControl", func(t *testing.T) {
+				// The alias and the primary name must configure runs
+				// identically, for every registered variant.
+				for _, name := range VariantNames() {
+					v, err := ParseVariant(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					primary := ep.run(WithCongestionControl(v))
+					alias := ep.run(WithVariant(v))
+					if !reflect.DeepEqual(primary, alias) {
+						t.Errorf("%s: WithVariant alias diverged from WithCongestionControl", name)
+					}
+				}
+			})
+
 			t.Run("WithCache", func(t *testing.T) {
 				cache, err := OpenCache(t.TempDir())
 				if err != nil {
@@ -112,5 +129,57 @@ func TestOptionsMatrix(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestVariantSwitchMatrix runs every registered congestion-control
+// variant under every combination of the behavioural switches (pacing,
+// delayed ACK, RED), each under the conservation-law auditor and each
+// cached then replayed: the pluggable-CC redesign must compose with the
+// whole option surface, not just run standalone.
+func TestVariantSwitchMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many simulation runs")
+	}
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range VariantNames() {
+		v, err := ParseVariant(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := 0; mask < 8; mask++ {
+			paced, delack, red := mask&1 != 0, mask&2 != 0, mask&4 != 0
+			label := fmt.Sprintf("%s/paced=%v,delack=%v,red=%v", name, paced, delack, red)
+			t.Run(label, func(t *testing.T) {
+				run := func(opts ...Option) SimulationResult {
+					return Simulate(Simulation{
+						Seed: 3, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+						Flows: 6, BufferPackets: 25,
+						RTTSpread: 20 * Millisecond,
+						Warmup:    1 * Second, Measure: 2 * Second,
+					}, append([]Option{
+						WithCongestionControl(v), WithPacing(paced),
+						WithDelayedACK(delack), WithRED(red),
+					}, opts...)...)
+				}
+				aud := NewAuditor()
+				base := run(WithAudit(aud))
+				if aud.Count() > 0 {
+					t.Fatalf("audit violations:\n%s", aud)
+				}
+				if base.Utilization <= 0 || base.Utilization > 1.0001 {
+					t.Errorf("utilization = %v", base.Utilization)
+				}
+				if cold := run(WithCacheStore(cache)); !reflect.DeepEqual(cold, base) {
+					t.Errorf("cached run diverged:\ncold %+v\nbase %+v", cold, base)
+				}
+				if warm := run(WithCacheStore(cache)); !reflect.DeepEqual(warm, base) {
+					t.Errorf("cache replay diverged:\nwarm %+v\nbase %+v", warm, base)
+				}
+			})
+		}
 	}
 }
