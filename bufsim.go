@@ -24,8 +24,11 @@
 //     plus pacing, RED and delayed-ACK switches),
 //     SimulateSingleFlow (the classic sawtooth, with time series),
 //     SimulateShortFlows (Poisson short flows, flow-completion times),
-//     SimulateMix (long + short flows competing, the Fig. 9 trade), and
-//     SimulateTrace (replay a recorded flow trace).
+//     SimulateMix (long + short flows competing, the Fig. 9 trade),
+//     SimulateTrace (replay a recorded flow trace), and
+//     SimulateProfile (any Workload — stationary Poisson, sessions,
+//     trace replay, or a declarative time-varying Profile whose arrival
+//     rate and flow population follow piecewise-linear curves).
 //
 //   - Full paper reproduction: the internal/experiment package drives
 //     every figure and table; cmd/paperexp exposes them on the command
@@ -35,16 +38,17 @@
 // corresponding config fields, and every result implements the Result
 // interface (Table, WriteJSON). The options matrix:
 //
-//	option                  Simulate  SimulateReplicated  SingleFlow  ShortFlows  Mix  Trace
-//	WithCongestionControl      yes           yes             yes         yes      yes   yes
-//	WithVariant (alias)        yes           yes             yes         yes      yes   yes
-//	WithPacing                 yes           yes             yes         yes      yes   yes
-//	WithDelayedACK             yes           yes             yes         yes      yes   yes
-//	WithRED                    yes           yes             yes         yes      yes   yes
-//	WithMetrics                yes           yes             yes         yes      yes   yes
-//	WithAudit                  yes           yes             yes         yes      yes   yes
-//	WithCache                  yes           yes             yes         yes      yes   yes
-//	WithParallelism             -            yes              -           -        -     -
+//	option                  Simulate  SimulateReplicated  SingleFlow  ShortFlows  Mix  Trace  Profile
+//	WithCongestionControl      yes           yes             yes         yes      yes   yes     yes
+//	WithVariant (alias)        yes           yes             yes         yes      yes   yes     yes
+//	WithPacing                 yes           yes             yes         yes      yes   yes     yes
+//	WithDelayedACK             yes           yes             yes         yes      yes   yes     yes
+//	WithRED                    yes           yes             yes         yes      yes   yes     yes
+//	WithMetrics                yes           yes             yes         yes      yes   yes     yes
+//	WithAudit                  yes           yes             yes         yes      yes   yes     yes
+//	WithCache                  yes           yes             yes         yes      yes   yes     yes
+//	WithParallelism             -            yes              -           -        -     -       -
+//	WithWorkload                -             -               -           -        -     -      yes
 //
 // WithRED switches the scenario's bottleneck queue from drop-tail to
 // Random Early Detection sized to the same buffer; scenarios whose buffer
@@ -568,6 +572,9 @@ type TraceFlow = workload.FlowSpec
 
 // ParseTrace reads a "start_seconds,size_segments" CSV of flows (comments
 // and a header line tolerated), for replay with SimulateTrace.
+//
+// Deprecated: use ReadFlows, which also accepts JSON flow records and
+// rejects out-of-order start times instead of silently reordering them.
 func ParseTrace(r io.Reader) ([]TraceFlow, error) { return workload.ParseTrace(r) }
 
 // TraceSimulation configures SimulateTrace: replay recorded flows over a

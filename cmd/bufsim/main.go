@@ -49,6 +49,9 @@ func main() {
 		cacheDir  = flag.String("cachedir", filepath.Join("results", "cache"), "directory for the -cache store")
 		resume    = flag.Bool("resume", false, "alias for -cache (a single scenario has no checkpoints; see paperexp -resume for sweeps)")
 		verify    = flag.Bool("cache-verify", false, "recompute a sample of cache hits and fail on digest mismatch (implies -cache)")
+		wlArg     = flag.String("workload", "", "time-varying workload profile: a preset name ("+strings.Join(bufsim.ProfileNames(), ", ")+") or a profile .json file; runs the profile scenario instead of the long-lived one, with -flows as the peak population")
+		wlLoad    = flag.Float64("workload-load", 0.85, "short-flow offered load at the profile's arrival peak")
+		wlFlowLen = flag.Int64("workload-flow-length", 14, "short-flow size in segments for -workload")
 	)
 	flag.Parse()
 
@@ -127,6 +130,15 @@ func main() {
 		}
 	}
 	printRules(link, *flows, b)
+	if *wlArg != "" {
+		runProfileAndPrint(profileScenario{
+			arg: *wlArg, load: *wlLoad, flowLen: *wlFlowLen,
+			link: link, buffer: b, peakFlows: *flows,
+			seed: *seed, warmup: warmup, measure: measure,
+			red: *red, variant: v, paced: *paced,
+		}, *skipSim, *metrics, *auditOn, cache)
+		return
+	}
 	runAndPrint(link, bufsim.Simulation{
 		Seed:          *seed,
 		Link:          link,
@@ -221,6 +233,121 @@ func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath
 	}
 	if res.Utilization < 0.98 {
 		fmt.Println("note: below 98% utilization — try a larger -buffer-factor or more flows")
+	}
+}
+
+// profileScenario carries the -workload invocation: a profile shape (a
+// preset name or .json path) scaled so its arrival peak offers `load`
+// and its population peak is `peakFlows` long-lived flows.
+type profileScenario struct {
+	arg       string
+	load      float64
+	flowLen   int64
+	link      bufsim.Link
+	buffer    int
+	peakFlows int
+	seed      int64
+	warmup    bufsim.Duration
+	measure   bufsim.Duration
+	red       bool
+	variant   bufsim.Variant
+	paced     bool
+}
+
+// resolveProfile loads a .json profile or looks up a preset by name.
+func resolveProfile(arg string) (bufsim.Profile, error) {
+	if strings.HasSuffix(arg, ".json") {
+		f, err := os.Open(arg)
+		if err != nil {
+			return bufsim.Profile{}, err
+		}
+		defer f.Close()
+		p, err := bufsim.LoadProfile(f)
+		if err != nil {
+			return bufsim.Profile{}, fmt.Errorf("%s: %v", arg, err)
+		}
+		return p, nil
+	}
+	preset, err := bufsim.ParseProfile(arg)
+	if err != nil {
+		return bufsim.Profile{}, err
+	}
+	return preset.Profile(), nil
+}
+
+// runProfileAndPrint runs the -workload scenario through
+// SimulateProfile and reports the surge's outcome.
+func runProfileAndPrint(sc profileScenario, skip bool, metricsPath string, auditOn bool, cache *bufsim.Cache) {
+	prof, err := resolveProfile(sc.arg)
+	if err != nil {
+		log.Fatalf("-workload: %v", err)
+	}
+	sizes := bufsim.FixedSize(sc.flowLen)
+	scaled := prof.ScaleTo(bufsim.ArrivalRate(sc.load, sc.link, sizes), float64(sc.peakFlows))
+	w, err := bufsim.ProfileWorkload(scaled, sizes, 0)
+	if err != nil {
+		log.Fatalf("-workload: %v", err)
+	}
+	if skip {
+		return
+	}
+	opts := []bufsim.Option{
+		bufsim.WithCongestionControl(sc.variant),
+		bufsim.WithPacing(sc.paced),
+	}
+	var reg *bufsim.Registry
+	if metricsPath != "" {
+		reg = bufsim.NewRegistry()
+		opts = append(opts, bufsim.WithMetrics(reg))
+	}
+	var aud *bufsim.Auditor
+	if auditOn {
+		aud = bufsim.NewAuditor()
+		opts = append(opts, bufsim.WithAudit(aud))
+	}
+	if cache != nil {
+		opts = append(opts, bufsim.WithCacheStore(cache))
+	}
+	fmt.Printf("simulating %q workload (peak load %.0f%%, peak %d long flows) for %v (+%v warmup)...\n",
+		prof.Name, 100*sc.load, sc.peakFlows, sc.measure, sc.warmup)
+	res := bufsim.SimulateProfile(bufsim.ProfileSimulation{
+		Seed:          sc.seed,
+		Link:          sc.link,
+		BufferPackets: sc.buffer,
+		Workload:      w,
+		RED:           sc.red,
+		Warmup:        sc.warmup,
+		Measure:       sc.measure,
+	}, opts...)
+	fmt.Printf("measured:        %.2f%% utilization, %.3f%% loss, mean queue %.1f pkts (peak %d)\n",
+		100*res.Utilization, 100*res.LossRate, res.MeanQueue, res.PeakQueue)
+	fmt.Printf("flows:           peak n(t) %.0f (mean %.1f), %d launched; AFCT %v over %d completed (%d censored)\n",
+		res.PeakActive, res.MeanActive, res.Generated, res.AFCT, res.Completed, res.Censored)
+	if reg != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry:       written to %s\n", metricsPath)
+	}
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		fmt.Println("audit:           all invariants held")
+	}
+	if cache != nil {
+		if cache.Stats().Hits > 0 {
+			fmt.Println("cache:           hit — result replayed from a previous identical run")
+		} else {
+			fmt.Println("cache:           miss — result stored for next time")
+		}
 	}
 }
 

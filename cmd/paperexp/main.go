@@ -27,6 +27,9 @@
 //	paperexp -exp rttspread  RTT heterogeneity vs synchronization (§3)
 //	paperexp -exp ccfamilies buffer requirement vs n per CC family
 //	                         (CUBIC and BBR against the 2004 sqrt rule)
+//	paperexp -exp flashcrowd buffer sizes vs a traffic surge: arrivals and
+//	                         the long-lived population n(t) spike together
+//	                         (-workload swaps in another profile shape)
 //	paperexp -exp all        everything above
 //
 // -quick shrinks every experiment (lower rates, fewer points, shorter
@@ -53,6 +56,7 @@ import (
 	"bufsim/internal/trace"
 	"bufsim/internal/units"
 	"bufsim/internal/workload"
+	"bufsim/internal/workload/profile"
 )
 
 func main() {
@@ -72,6 +76,7 @@ func main() {
 		cacheDir = flag.String("cachedir", filepath.Join("results", "cache"), "directory for the -cache store")
 		resume   = flag.Bool("resume", false, "continue an interrupted run from its checkpoint manifests (implies -cache)")
 		verify   = flag.Bool("cache-verify", false, "recompute a sample of cache hits and fail on any digest mismatch (implies -cache)")
+		wlArg    = flag.String("workload", "", "workload profile for the flashcrowd experiment: a preset name (see bufsim.ProfileNames) or a profile .json file")
 	)
 	flag.Parse()
 
@@ -87,7 +92,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par}
+	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par, workload: *wlArg}
 	if *resume || *verify {
 		*cacheOn = true
 	}
@@ -121,7 +126,7 @@ func main() {
 		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "sync", "red", "pareto", "pacing", "smooth", "internet2",
 			"multihop", "variants", "ecn", "harpoon", "rttspread", "codel",
-			"ccfamilies"}
+			"ccfamilies", "flashcrowd"}
 	}
 	// The run manifest records which experiments of this exact invocation
 	// have already printed their output, so -resume skips straight to the
@@ -186,7 +191,8 @@ type runner struct {
 	seed     int64
 	csvDir   string
 	svgDir   string
-	parallel int // worker bound for the sweeping experiments; 0 = all CPUs
+	parallel int    // worker bound for the sweeping experiments; 0 = all CPUs
+	workload string // -workload: profile preset name or .json path
 	metrics  *metrics.Registry
 	audit    *audit.Auditor  // nil unless -audit
 	cache    *runcache.Store // nil unless -cache
@@ -278,6 +284,8 @@ func (r runner) run(id string) error {
 		return r.codel()
 	case "ccfamilies":
 		return r.ccFamilies()
+	case "flashcrowd":
+		return r.flashCrowd()
 	case "smooth":
 		return r.smoothing()
 	default:
@@ -657,6 +665,76 @@ func (r runner) ccFamilies() error {
 	}
 	chart.Add("RTTxC/sqrt(n)", plot.Line, rule.Times, rule.Values)
 	return r.writeSVG("ccfamilies_min_buffer", chart)
+}
+
+// flashCrowd is the time-varying-workload figure: how each buffer size
+// rides out a surge where the arrival rate and the long-lived population
+// n(t) spike together — the regime the 2004 rule's fixed n never
+// modeled. -workload swaps in another profile shape (a preset name or a
+// profile .json); curves are rescaled to the experiment's peak load and
+// population, so they act as shapes.
+func (r runner) flashCrowd() error {
+	cfg := experiment.FlashCrowdConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
+	if r.workload != "" {
+		p, err := profile.FromArg(r.workload)
+		if err != nil {
+			return err
+		}
+		cfg.Profile = p
+	}
+	if r.quick {
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.Stations = 20
+		cfg.PeakFlows = 8
+		cfg.Buffers = []int{6, 25, 100, 250}
+		cfg.Warmup = 2 * units.Second
+		prof := cfg.Profile
+		if len(prof.Arrival) == 0 && len(prof.Population) == 0 {
+			prof = profile.FlashCrowd.Profile()
+		}
+		compressed, err := prof.Compress(4)
+		if err != nil {
+			return err
+		}
+		cfg.Profile = compressed
+	}
+	shape := cfg.Profile.Name
+	if shape == "" {
+		shape = profile.FlashCrowd.String()
+	}
+	fmt.Printf("workload profile: %s\n", shape)
+	rows := experiment.RunFlashCrowd(cfg)
+	r.mergeMetrics("flashcrowd", cfg.Metrics)
+	if err := experiment.Render(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	util := &trace.Series{Name: "utilization"}
+	loss := &trace.Series{Name: "loss_rate"}
+	meanQ := &trace.Series{Name: "mean_queue"}
+	peakN := &trace.Series{Name: "peak_active"}
+	for _, row := range rows {
+		x := float64(row.Buffer)
+		util.Times = append(util.Times, x)
+		util.Values = append(util.Values, row.Utilization)
+		loss.Times = append(loss.Times, x)
+		loss.Values = append(loss.Values, row.LossRate)
+		meanQ.Times = append(meanQ.Times, x)
+		meanQ.Values = append(meanQ.Values, row.MeanQueue)
+		peakN.Times = append(peakN.Times, x)
+		peakN.Values = append(peakN.Values, row.PeakActive)
+	}
+	if err := r.writeCSV("flashcrowd_buffer", util, loss, meanQ, peakN); err != nil {
+		return err
+	}
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Flash crowd (%s): riding out the n(t) surge", shape),
+		XLabel: "buffer (packets)", YLabel: "fraction",
+		XLog: true,
+	}
+	chart.Add("utilization", plot.LinePoints, util.Times, util.Values)
+	chart.Add("loss rate", plot.LinePoints, loss.Times, loss.Values)
+	return r.writeSVG("flashcrowd_buffer", chart)
 }
 
 func (r runner) rttSpread() error {

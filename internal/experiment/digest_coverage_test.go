@@ -39,6 +39,8 @@ var digestConfigs = []any{
 	ccFamilyPointConfig{},
 	MultiHopConfig{},
 	HarpoonConfig{},
+	ProfileRunConfig{},
+	FlashCrowdConfig{},
 }
 
 // ignoredFieldNames mirrors digestIgnore: the observation-only field
@@ -132,13 +134,19 @@ func setNonZero(t *testing.T, name string, v reflect.Value) {
 			setNonZero(t, name, v.Field(i))
 		}
 	case reflect.Interface:
-		// The one semantic interface in the configs is the flow-size
-		// distribution; anything else needs an explicit rule here.
-		dist := reflect.ValueOf(workload.GeometricSize(5))
-		if !dist.Type().Implements(v.Type()) {
-			t.Fatalf("%s: no perturbation rule for interface %v", name, v.Type())
+		// The semantic interfaces in the configs are the flow-size
+		// distribution and the workload source; anything else needs an
+		// explicit rule here.
+		for _, candidate := range []reflect.Value{
+			reflect.ValueOf(workload.GeometricSize(5)),
+			reflect.ValueOf(workload.PoissonSource{Load: 0.5, Sizes: workload.FixedSize(9)}),
+		} {
+			if candidate.Type().Implements(v.Type()) {
+				v.Set(candidate)
+				return
+			}
 		}
-		v.Set(dist)
+		t.Fatalf("%s: no perturbation rule for interface %v", name, v.Type())
 	default:
 		t.Fatalf("%s: no perturbation rule for kind %v", name, v.Kind())
 	}

@@ -9,6 +9,7 @@ import (
 	"bufsim/internal/runcache"
 	"bufsim/internal/units"
 	"bufsim/internal/workload"
+	"bufsim/internal/workload/profile"
 )
 
 // resultDigest canonicalizes a result via JSON and hashes it. Every field
@@ -136,6 +137,23 @@ var goldenDigestCases = []struct {
 				Warmup: 5 * units.Second, Measure: 10 * units.Second,
 				MeanQueueIncludesWarmup: true,
 				Cache:                   cache,
+			})
+		},
+	},
+	{
+		name: "profile_flashcrowd",
+		want: "fa7d5874c5551439e82a093a0928c15f5e464cf2d2bd12a30aaa92e7cf1581e7",
+		run: func(cache *runcache.Store) any {
+			prof, err := profile.FlashCrowd.Profile().Compress(4)
+			if err != nil {
+				panic(err)
+			}
+			return RunFlashCrowd(FlashCrowdConfig{
+				Seed: 21, BottleneckRate: 20 * units.Mbps,
+				Stations: 20, Profile: prof, PeakFlows: 8,
+				Buffers: []int{25, 100},
+				Warmup:  2 * units.Second, Drain: 20 * units.Second,
+				Cache: cache,
 			})
 		},
 	},

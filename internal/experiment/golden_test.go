@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"bufsim/internal/units"
+	"bufsim/internal/workload/profile"
 )
 
 // update rewrites the golden tables instead of comparing against them:
@@ -59,6 +60,21 @@ var goldenCases = []struct {
 				Warmup: 4 * units.Second, Measure: 10 * units.Second,
 			})
 			return map[string]any{"afct": afct, "completed": completed, "censored": censored}
+		},
+	},
+	{
+		name: "flashcrowd_table",
+		run: func() any {
+			prof, err := profile.FlashCrowd.Profile().Compress(4)
+			if err != nil {
+				panic(err)
+			}
+			return RunFlashCrowd(FlashCrowdConfig{
+				Seed: 21, BottleneckRate: 20 * units.Mbps,
+				Stations: 20, Profile: prof, PeakFlows: 8,
+				Buffers: []int{25, 100},
+				Warmup:  2 * units.Second, Drain: 20 * units.Second,
+			})
 		},
 	},
 	{

@@ -7,10 +7,10 @@ import (
 	"bufsim/internal/lint/linttest"
 )
 
-func TestSimDeterminism(t *testing.T) { linttest.Run(t, lint.SimDeterminism, "simdet") }
+func TestSimDeterminism(t *testing.T) { linttest.Run(t, lint.SimDeterminism, "simdet", "profiledet") }
 func TestMapOrder(t *testing.T)       { linttest.Run(t, lint.MapOrder, "mapord") }
-func TestUnitSafety(t *testing.T)     { linttest.Run(t, lint.UnitSafety, "unitsafe") }
-func TestDigestField(t *testing.T)    { linttest.Run(t, lint.DigestField, "digestcfg") }
+func TestUnitSafety(t *testing.T)     { linttest.Run(t, lint.UnitSafety, "unitsafe", "profileunits") }
+func TestDigestField(t *testing.T)    { linttest.Run(t, lint.DigestField, "digestcfg", "profilecfg") }
 func TestEventCapture(t *testing.T)   { linttest.Run(t, lint.EventCapture, "eventcap") }
 
 // TestSuiteComplete pins the analyzer roster: the CI gate, the vettool
@@ -55,6 +55,7 @@ func TestAppliesToScopes(t *testing.T) {
 		{lint.SimDeterminism, "bufsim/internal/queue", true},
 		{lint.SimDeterminism, "bufsim/internal/experiment", true},
 		{lint.SimDeterminism, "bufsim/internal/workload", true},
+		{lint.SimDeterminism, "bufsim/internal/workload/profile", true},
 		{lint.SimDeterminism, "bufsim", true},
 		{lint.SimDeterminism, "bufsim/cmd/paperexp", false}, // CLIs may read the wall clock
 		{lint.SimDeterminism, "bufsim/internal/metrics", false},
@@ -63,6 +64,9 @@ func TestAppliesToScopes(t *testing.T) {
 		{lint.UnitSafety, "bufsim/cmd/bufsim", true},
 		{lint.EventCapture, "bufsim/internal/sim", false}, // sim defines the closure entry points
 		{lint.EventCapture, "bufsim/internal/workload", true},
+		{lint.EventCapture, "bufsim/internal/workload/profile", true},
+		{lint.UnitSafety, "bufsim/internal/workload/profile", true},
+		{lint.DigestField, "bufsim/internal/workload/profile", true},
 		{lint.EventCapture, "bufsim/internal/experiment", true},
 		{lint.MapOrder, "bufsim/internal/experiment", true},
 		{lint.DigestField, "bufsim/internal/experiment", true},

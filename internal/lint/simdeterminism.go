@@ -13,20 +13,21 @@ import (
 // //lint:ignore with a reason (e.g. wall-time telemetry that never feeds
 // a result).
 var deterministicCorePkgs = map[string]bool{
-	"bufsim":                     true,
-	"bufsim/internal/sim":        true,
-	"bufsim/internal/tcp":        true,
-	"bufsim/internal/link":       true,
-	"bufsim/internal/queue":      true,
-	"bufsim/internal/node":       true,
-	"bufsim/internal/packet":     true,
-	"bufsim/internal/topology":   true,
-	"bufsim/internal/workload":   true,
-	"bufsim/internal/trace":      true,
-	"bufsim/internal/model":      true,
-	"bufsim/internal/stats":      true,
-	"bufsim/internal/units":      true,
-	"bufsim/internal/experiment": true,
+	"bufsim":                           true,
+	"bufsim/internal/sim":              true,
+	"bufsim/internal/tcp":              true,
+	"bufsim/internal/link":             true,
+	"bufsim/internal/queue":            true,
+	"bufsim/internal/node":             true,
+	"bufsim/internal/packet":           true,
+	"bufsim/internal/topology":         true,
+	"bufsim/internal/workload":         true,
+	"bufsim/internal/workload/profile": true,
+	"bufsim/internal/trace":            true,
+	"bufsim/internal/model":            true,
+	"bufsim/internal/stats":            true,
+	"bufsim/internal/units":            true,
+	"bufsim/internal/experiment":       true,
 }
 
 // wallClockFuncs are the time-package functions that read or wait on the

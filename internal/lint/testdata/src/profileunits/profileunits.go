@@ -1,0 +1,50 @@
+// Package profileunits is the unitsafety fixture for workload-profile
+// shapes: control points pair a units.Duration offset with a unitless
+// value, so bare literals in the time slot and laundering a profile
+// offset into an absolute Time are the live hazards.
+package profileunits
+
+import "bufsim/internal/units"
+
+type controlPoint struct {
+	T units.Duration // offset from the profile start
+	V float64        // unitless: flows/sec or a flow count
+}
+
+func badCurve() []controlPoint {
+	return []controlPoint{
+		{T: 0, V: 0.1}, // zero is the zero value in every unit
+		{T: 30, V: 1},  // want `bare literal 30 in field T where units\.Duration is expected`
+		{T: 60 * units.Second, V: 0.1},
+	}
+}
+
+func goodCurve() []controlPoint {
+	return []controlPoint{
+		{T: 0, V: 0.1},
+		{T: 30 * units.Second, V: 1},
+		{T: units.Minute, V: 0.1},
+	}
+}
+
+// anchor turns a profile offset into simulated time: the sanctioned
+// route is Time.Add, never a direct conversion.
+func anchor(base units.Time, offset units.Duration) units.Time {
+	_ = units.Time(offset) // want `direct conversion units\.Duration -> units\.Time`
+	return base.Add(offset)
+}
+
+// elapsed measures where in the profile a simulated instant lands: the
+// span between two points comes from Sub, not raw subtraction.
+func elapsed(now, start units.Time) units.Duration {
+	_ = now - start // want `subtracting units\.Time values`
+	return now.Sub(start)
+}
+
+func badHorizon(end units.Duration) units.Duration {
+	var horizon units.Duration = 3600 // want `bare literal 3600 in declaration`
+	if end > horizon {
+		return end
+	}
+	return horizon
+}

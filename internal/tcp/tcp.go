@@ -530,6 +530,22 @@ func (s *Sender) SRTT() units.Duration { return s.srtt }
 // RTO returns the current retransmission timeout (before backoff).
 func (s *Sender) RTO() units.Duration { return s.rto }
 
+// Shutdown halts a long-lived sender mid-stream: pending timers are
+// cancelled and the sender stops reacting to ACKs, as if the
+// application closed the connection. Time-varying workloads use it to
+// ramp the flow population down. The completion audit and OnComplete
+// callback do not fire — the transfer did not finish, it was ended.
+// Safe to call on an already-finished sender.
+func (s *Sender) Shutdown(now units.Time) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.stats.Completed = now
+	s.sched.Cancel(s.rtoTimer)
+	s.sched.Cancel(s.paceTimer)
+}
+
 func (s *Sender) complete(now units.Time) {
 	s.finished = true
 	s.stats.Completed = now

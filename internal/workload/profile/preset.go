@@ -1,0 +1,199 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"bufsim/internal/units"
+)
+
+// Preset names a built-in profile shape. Each preset is an index into
+// the package's preset registry, which supplies its name, parse aliases
+// and normalized curves; adding a preset means adding one registry
+// entry — String, ParseProfile, the TextMarshaler pair and the "unknown
+// workload profile" error message all derive from the registry and
+// cannot drift.
+//
+// Preset curves are shapes, normalized to peak 1.0 on both axes: scale
+// them to real rates and flow counts with Profile.ScaleTo (the
+// flashcrowd experiment and the CLIs do this from their load and flow
+// parameters).
+type Preset int
+
+// Built-in profile shapes.
+const (
+	// Constant: the stationary baseline — arrival rate and population
+	// flat at their peaks. Scaled to a pure Poisson load, it reproduces
+	// the legacy short-flow source draw for draw.
+	Constant Preset = iota
+	// Diurnal: a 24-hour sinusoid-like swing between a 20% trough and
+	// the peak, as three linear ramps; compress it to replay a day in
+	// simulated seconds.
+	Diurnal
+	// FlashCrowd: a quiet 10% baseline that spikes 10x in two seconds,
+	// holds, and decays — the n(t) regime the 2004 rule never modeled.
+	FlashCrowd
+	// SteppedRamp: four load plateaus (25/50/75/100%) with half-second
+	// transitions, for dose-response sweeps along one run.
+	SteppedRamp
+	// Drain: full load with a mid-run maintenance window where traffic
+	// drains to 5% and recovers — buffer behaviour through an
+	// intentional trough.
+	Drain
+
+	numPresets = int(Drain) + 1
+)
+
+// presetInfo is one registry entry.
+type presetInfo struct {
+	name    string
+	aliases []string
+	build   func() Profile
+}
+
+// presetRegistry is indexed by Preset. The array length is pinned to
+// numPresets, so adding a constant above without a registry entry (or
+// vice versa) fails to compile; TestPresetRegistryExhaustive checks the
+// entries themselves are populated.
+var presetRegistry = [numPresets]presetInfo{
+	Constant: {name: "constant", aliases: []string{"steady", "stationary"}, build: func() Profile {
+		return Profile{
+			Name:       "constant",
+			Arrival:    Curve{{T: 0, V: 1}, {T: 60 * units.Second, V: 1}},
+			Population: Curve{{T: 0, V: 1}, {T: 60 * units.Second, V: 1}},
+		}
+	}},
+	Diurnal: {name: "diurnal", aliases: []string{"daily"}, build: func() Profile {
+		day := 24 * 3600 * units.Second
+		shape := Curve{
+			{T: 0, V: 0.2},
+			{T: day * 5 / 24, V: 0.2},
+			{T: day * 13 / 24, V: 1},
+			{T: day * 17 / 24, V: 1},
+			{T: day, V: 0.2},
+		}
+		return Profile{Name: "diurnal", Arrival: shape, Population: shape}
+	}},
+	FlashCrowd: {name: "flashcrowd", aliases: []string{"flash-crowd", "spike"}, build: func() Profile {
+		shape := Curve{
+			{T: 0, V: 0.1},
+			{T: 30 * units.Second, V: 0.1},
+			{T: 32 * units.Second, V: 1},
+			{T: 40 * units.Second, V: 1},
+			{T: 46 * units.Second, V: 0.1},
+			{T: 60 * units.Second, V: 0.1},
+		}
+		return Profile{Name: "flashcrowd", Arrival: shape, Population: shape}
+	}},
+	SteppedRamp: {name: "step", aliases: []string{"stepped-ramp", "ramp"}, build: func() Profile {
+		shape := Curve{
+			{T: 0, V: 0.25},
+			{T: 14500 * units.Millisecond, V: 0.25},
+			{T: 15 * units.Second, V: 0.5},
+			{T: 29500 * units.Millisecond, V: 0.5},
+			{T: 30 * units.Second, V: 0.75},
+			{T: 44500 * units.Millisecond, V: 0.75},
+			{T: 45 * units.Second, V: 1},
+			{T: 60 * units.Second, V: 1},
+		}
+		return Profile{Name: "step", Arrival: shape, Population: shape}
+	}},
+	Drain: {name: "drain", aliases: []string{"maintenance", "maintenance-drain"}, build: func() Profile {
+		shape := Curve{
+			{T: 0, V: 1},
+			{T: 25 * units.Second, V: 1},
+			{T: 27 * units.Second, V: 0.05},
+			{T: 35 * units.Second, V: 0.05},
+			{T: 37 * units.Second, V: 1},
+			{T: 60 * units.Second, V: 1},
+		}
+		return Profile{Name: "drain", Arrival: shape, Population: shape}
+	}},
+}
+
+// valid reports whether p indexes a registered preset.
+func (p Preset) valid() bool { return p >= 0 && int(p) < numPresets }
+
+func (p Preset) String() string {
+	if !p.valid() {
+		return fmt.Sprintf("preset(%d)", int(p))
+	}
+	return presetRegistry[p].name
+}
+
+// Profile builds the preset's normalized profile. Out-of-range values
+// fall back to Constant, the zero value.
+func (p Preset) Profile() Profile {
+	if !p.valid() {
+		return presetRegistry[Constant].build()
+	}
+	return presetRegistry[p].build()
+}
+
+// ProfileNames returns the canonical preset names in registry order
+// (for CLI help text and error messages).
+func ProfileNames() []string {
+	names := make([]string, numPresets)
+	for i, info := range presetRegistry {
+		names[i] = info.name
+	}
+	return names
+}
+
+// Presets returns all registered presets in registry order.
+func Presets() []Preset {
+	ps := make([]Preset, numPresets)
+	for i := range ps {
+		ps[i] = Preset(i)
+	}
+	return ps
+}
+
+// presetNameList renders "constant, diurnal, ... or drain" for the
+// parse error, regenerated from the registry so it cannot drift as
+// presets are added.
+func presetNameList() string {
+	names := ProfileNames()
+	return strings.Join(names[:len(names)-1], ", ") + " or " + names[len(names)-1]
+}
+
+// ParseProfile parses a preset name, case-insensitively, accepting each
+// preset's canonical name or registered aliases (e.g. "flash-crowd" for
+// flashcrowd, "maintenance" for drain). The empty string parses as
+// Constant, the zero value, so optional config fields round-trip.
+func ParseProfile(s string) (Preset, error) {
+	lower := strings.ToLower(s)
+	if lower == "" {
+		return Constant, nil
+	}
+	for i, info := range presetRegistry {
+		if lower == info.name {
+			return Preset(i), nil
+		}
+		for _, a := range info.aliases {
+			if lower == a {
+				return Preset(i), nil
+			}
+		}
+	}
+	return Constant, fmt.Errorf("profile: unknown workload profile %q (want %s)", s, presetNameList())
+}
+
+// MarshalText implements encoding.TextMarshaler, so a Preset renders as
+// its name in JSON scenario files rather than a bare integer.
+func (p Preset) MarshalText() ([]byte, error) {
+	if !p.valid() {
+		return nil, fmt.Errorf("profile: cannot marshal unknown preset %d", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseProfile.
+func (p *Preset) UnmarshalText(text []byte) error {
+	parsed, err := ParseProfile(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}

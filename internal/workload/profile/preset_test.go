@@ -1,0 +1,132 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Preset
+		ok   bool
+	}{
+		{"constant", Constant, true},
+		{"Constant", Constant, true},
+		{"steady", Constant, true},
+		{"stationary", Constant, true},
+		{"", Constant, true},
+		{"diurnal", Diurnal, true},
+		{"daily", Diurnal, true},
+		{"flashcrowd", FlashCrowd, true},
+		{"Flash-Crowd", FlashCrowd, true},
+		{"spike", FlashCrowd, true},
+		{"step", SteppedRamp, true},
+		{"stepped-ramp", SteppedRamp, true},
+		{"ramp", SteppedRamp, true},
+		{"drain", Drain, true},
+		{"maintenance", Drain, true},
+		{"maintenance-drain", Drain, true},
+		{"tsunami", Constant, false},
+		{"constant ", Constant, false},
+	}
+	for _, c := range cases {
+		got, err := ParseProfile(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseProfile(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseProfile(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseProfileErrorListsRegistry pins the contract that the
+// "unknown workload profile" error is regenerated from the registry:
+// every registered name must appear in it, so the message cannot drift
+// as presets are added.
+func TestParseProfileErrorListsRegistry(t *testing.T) {
+	_, err := ParseProfile("nosuch")
+	if err == nil {
+		t.Fatal("ParseProfile(\"nosuch\") did not error")
+	}
+	for _, name := range ProfileNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered preset %q", err, name)
+		}
+	}
+}
+
+func TestPresetStringRoundTrip(t *testing.T) {
+	for _, p := range Presets() {
+		got, err := ParseProfile(p.String())
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", p.String(), err)
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+	if s := Preset(99).String(); s != "preset(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+// TestPresetRegistryExhaustive checks every registry slot is populated
+// (the array length already pins the count at compile time) and that
+// every preset builds a profile that validates, is normalized to peak
+// 1.0, and carries its registry name.
+func TestPresetRegistryExhaustive(t *testing.T) {
+	for _, p := range Presets() {
+		info := presetRegistry[p]
+		if info.name == "" {
+			t.Errorf("preset %d has no name", int(p))
+		}
+		if info.build == nil {
+			t.Fatalf("preset %q has no builder", info.name)
+		}
+		prof := p.Profile()
+		if err := prof.Validate(); err != nil {
+			t.Errorf("preset %q does not validate: %v", info.name, err)
+		}
+		if prof.Name != info.name {
+			t.Errorf("preset %q builds profile named %q", info.name, prof.Name)
+		}
+		if m := prof.Arrival.Max(); m != 1 {
+			t.Errorf("preset %q arrival peak = %v, want 1.0 (normalized)", info.name, m)
+		}
+		if m := prof.Population.Max(); m != 1 {
+			t.Errorf("preset %q population peak = %v, want 1.0 (normalized)", info.name, m)
+		}
+	}
+}
+
+func TestPresetTextMarshalling(t *testing.T) {
+	for _, p := range Presets() {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		want := `"` + p.String() + `"`
+		if string(data) != want {
+			t.Errorf("marshal %v = %s, want %s", p, data, want)
+		}
+		var back Preset
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != p {
+			t.Errorf("unmarshal %s = %v, want %v", data, back, p)
+		}
+	}
+	if _, err := json.Marshal(Preset(99)); err == nil {
+		t.Error("marshalling an out-of-range preset did not error")
+	}
+	var p Preset
+	if err := json.Unmarshal([]byte(`"nosuch"`), &p); err == nil {
+		t.Error("unmarshalling an unknown preset did not error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,14 +30,30 @@ type FlowSpec struct {
 //
 // (comments starting with '#' and blank lines are skipped; a header line
 // is tolerated). Rows may be in any order; the result is sorted by start
-// time. This is the bridge for replaying real flow-level traces — e.g.
-// a NetFlow export reduced to arrival time and transfer size — through
-// the simulator instead of synthetic Poisson arrivals.
+// time.
+//
+// Deprecated: use ReadFlows, which also accepts JSON flow records and
+// rejects out-of-order start times instead of silently reordering them.
+// ParseTrace is kept for callers that depend on the sorting behaviour.
 func ParseTrace(r io.Reader) ([]FlowSpec, error) {
+	specs, err := parseTraceCSV(r, false)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Start < specs[j].Start })
+	return specs, nil
+}
+
+// parseTraceCSV scans the two-column CSV trace form. With strict set,
+// rows whose start time precedes the previous row's are an error — a
+// recorded trace is a timeline, and silently reordering it hides
+// corrupted or mis-merged inputs.
+func parseTraceCSV(r io.Reader, strict bool) ([]FlowSpec, error) {
 	var specs []FlowSpec
 	sc := bufio.NewScanner(r)
 	line := 0
 	sawRow := false
+	prevStart := -1.0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -59,9 +76,13 @@ func ParseTrace(r io.Reader) ([]FlowSpec, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: bad size: %v", line, err)
 		}
-		if start < 0 || size <= 0 {
+		if start < 0 || math.IsNaN(start) || math.IsInf(start, 0) || size <= 0 {
 			return nil, fmt.Errorf("workload: trace line %d: start %v / size %d out of range", line, start, size)
 		}
+		if strict && start < prevStart {
+			return nil, fmt.Errorf("workload: trace line %d: start %vs precedes previous row (%vs); flow records must be ordered by start time", line, start, prevStart)
+		}
+		prevStart = start
 		specs = append(specs, FlowSpec{
 			Start: units.DurationFromSeconds(start),
 			Size:  size,
@@ -70,7 +91,6 @@ func ParseTrace(r io.Reader) ([]FlowSpec, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	sort.Slice(specs, func(i, j int) bool { return specs[i].Start < specs[j].Start })
 	return specs, nil
 }
 
@@ -80,6 +100,11 @@ type replayRun struct {
 	d        *topology.Dumbbell
 	sched    *sim.Scheduler
 	template tcp.Config
+
+	records []*FlowRecord
+	started int64
+	active  int
+	stopped bool
 }
 
 // replayFlow is the opReplayStart argument: which station to bind, how
@@ -100,13 +125,19 @@ const (
 func (r *replayRun) OnEvent(op int32, arg any) {
 	switch op {
 	case opReplayStart:
+		if r.stopped {
+			return
+		}
 		rf := arg.(*replayFlow)
 		cfg := r.template
 		cfg.TotalSegments = rf.size
 		f := r.d.AddFlow(rf.st, cfg)
 		rf.rec.Start = r.sched.Now()
+		r.started++
+		r.active++
 		f.Receiver.OnComplete = func(now units.Time) {
 			rf.rec.Completed = now
+			r.active--
 			r.sched.PostAfter(f.Station.RTT, r, opReplayRemove, f)
 		}
 		f.Sender.Start()
@@ -119,15 +150,21 @@ func (r *replayRun) OnEvent(op int32, arg any) {
 // (round-robin) and returns the records, which fill in as flows complete.
 // The trace's start offsets are anchored at the current simulated time.
 func Replay(d *topology.Dumbbell, specs []FlowSpec, template tcp.Config) []*FlowRecord {
+	return startReplay(d, specs, template).records
+}
+
+// startReplay is Replay with access to the driving actor, for the
+// Source adapter's Stop and live counters.
+func startReplay(d *topology.Dumbbell, specs []FlowSpec, template tcp.Config) *replayRun {
 	sched := d.Config().Sched
 	base := sched.Now()
 	run := &replayRun{d: d, sched: sched, template: template}
-	records := make([]*FlowRecord, len(specs))
+	run.records = make([]*FlowRecord, len(specs))
 	for i, spec := range specs {
 		rec := &FlowRecord{Size: spec.Size, Completed: units.Never}
-		records[i] = rec
+		run.records[i] = rec
 		rf := &replayFlow{size: spec.Size, st: d.Station(i % d.NumStations()), rec: rec}
 		sched.PostAt(base.Add(spec.Start), run, opReplayStart, rf)
 	}
-	return records
+	return run
 }

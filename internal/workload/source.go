@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+
+	"bufsim/internal/sim"
+	"bufsim/internal/tcp"
+	"bufsim/internal/topology"
+	"bufsim/internal/units"
+)
+
+// Source is a declarative traffic description: pure data (digestable by
+// the run cache) that binds onto a dumbbell to produce a Driver. The
+// three historical front ends — stationary Poisson short flows, Harpoon
+// sessions and recorded-trace replay — and the time-varying profile
+// engine all satisfy it, so an experiment can grid over workloads the
+// way it grids over buffer sizes.
+//
+// Binding must be deterministic: the same source bound with the same
+// seed produces the same flow schedule, packet for packet.
+type Source interface {
+	// Bind wires the workload onto d, drawing all randomness from rng,
+	// and returns the stopped driver; the caller starts it.
+	Bind(d *topology.Dumbbell, rng *sim.RNG) Driver
+	// String describes the workload for reports and tables.
+	String() string
+}
+
+// Driver is a bound, runnable workload.
+type Driver interface {
+	// Start begins generating traffic at the current simulated time.
+	Start()
+	// Stop halts new flow launches; in-flight flows run to completion.
+	Stop()
+	// Active returns the number of flows currently in flight — the
+	// paper's instantaneous n(t).
+	Active() int
+	// Generated returns the total number of flows started so far.
+	Generated() int64
+	// Records returns one entry per launched finite flow, in launch
+	// order, with completion times filling in as flows finish.
+	Records() []*FlowRecord
+}
+
+// RecordAFCT returns the average flow completion time over records whose
+// flow started in [from, to], along with how many such flows completed
+// and how many did not (censored). Censored flows are excluded from the
+// average, so callers should drain the system (or report incomplete)
+// before trusting the number.
+func RecordAFCT(records []*FlowRecord, from, to units.Time) (afct units.Duration, completed, censored int) {
+	var sum units.Duration
+	for _, r := range records {
+		if r.Start < from || r.Start > to {
+			continue
+		}
+		if r.Completed == units.Never {
+			censored++
+			continue
+		}
+		sum += r.Duration()
+		completed++
+	}
+	if completed == 0 {
+		return 0, 0, censored
+	}
+	return sum / units.Duration(completed), completed, censored
+}
+
+// PoissonSource is the legacy stationary workload as a Source: Poisson
+// arrivals of finite flows at a fixed offered load.
+type PoissonSource struct {
+	// Load is the target bottleneck utilization (see ShortFlowConfig).
+	Load float64
+	// Sizes is the flow-length distribution.
+	Sizes SizeDist
+	// TCP is the per-flow template; TotalSegments is set per flow.
+	TCP tcp.Config
+}
+
+func (s PoissonSource) String() string {
+	return fmt.Sprintf("poisson(load=%.2f, %s)", s.Load, s.Sizes)
+}
+
+// Bind implements Source.
+func (s PoissonSource) Bind(d *topology.Dumbbell, rng *sim.RNG) Driver {
+	return poissonDriver{NewShortFlows(ShortFlowConfig{
+		Dumbbell: d,
+		RNG:      rng,
+		Load:     s.Load,
+		Sizes:    s.Sizes,
+		TCP:      s.TCP,
+	})}
+}
+
+// poissonDriver adapts *ShortFlows (whose Records is a field) to Driver.
+type poissonDriver struct{ *ShortFlows }
+
+func (p poissonDriver) Records() []*FlowRecord { return p.ShortFlows.Records }
+
+// SessionSource is the Harpoon-style closed-loop workload as a Source.
+type SessionSource struct {
+	// Sessions is the population size (see SessionConfig).
+	Sessions int
+	// Sizes is the file-size distribution in segments.
+	Sizes SizeDist
+	// MeanThink is the average pause between a session's transfers.
+	MeanThink units.Duration
+	// TCP is the per-transfer template; TotalSegments is set per file.
+	TCP tcp.Config
+}
+
+func (s SessionSource) String() string {
+	return fmt.Sprintf("sessions(%d, %s, think=%s)", s.Sessions, s.Sizes, s.MeanThink)
+}
+
+// Bind implements Source.
+func (s SessionSource) Bind(d *topology.Dumbbell, rng *sim.RNG) Driver {
+	return sessionDriver{NewSessions(SessionConfig{
+		Dumbbell:  d,
+		RNG:       rng,
+		Sessions:  s.Sessions,
+		Sizes:     s.Sizes,
+		MeanThink: s.MeanThink,
+		TCP:       s.TCP,
+	})}
+}
+
+// sessionDriver adapts *Sessions (whose Records is a field) to Driver.
+type sessionDriver struct{ *Sessions }
+
+func (s sessionDriver) Records() []*FlowRecord { return s.Sessions.Records }
+func (s sessionDriver) Generated() int64       { return int64(len(s.Sessions.Records)) }
+
+// TraceSource replays a recorded flow trace as a Source. Replay is
+// deterministic — the bound RNG is never consulted.
+type TraceSource struct {
+	// Flows is the trace, ordered by start offset (see ReadFlows).
+	Flows []FlowSpec
+	// TCP is the per-flow template; TotalSegments is set per flow.
+	TCP tcp.Config
+}
+
+func (s TraceSource) String() string {
+	return fmt.Sprintf("trace(%d flows)", len(s.Flows))
+}
+
+// Bind implements Source.
+func (s TraceSource) Bind(d *topology.Dumbbell, _ *sim.RNG) Driver {
+	return &traceDriver{d: d, src: s}
+}
+
+// traceDriver defers the Replay call to Start so the trace anchors at
+// the driver's start time, like every other workload.
+type traceDriver struct {
+	d   *topology.Dumbbell
+	src TraceSource
+	run *replayRun
+}
+
+// Start implements Driver.
+func (t *traceDriver) Start() {
+	if t.run != nil {
+		panic("workload: trace driver started twice")
+	}
+	t.run = startReplay(t.d, t.src.Flows, t.src.TCP)
+}
+
+// Stop implements Driver: flows not yet started are abandoned.
+func (t *traceDriver) Stop() {
+	if t.run != nil {
+		t.run.stopped = true
+	}
+}
+
+// Active implements Driver.
+func (t *traceDriver) Active() int {
+	if t.run == nil {
+		return 0
+	}
+	return t.run.active
+}
+
+// Generated implements Driver.
+func (t *traceDriver) Generated() int64 {
+	if t.run == nil {
+		return 0
+	}
+	return t.run.started
+}
+
+// Records implements Driver. Entries for flows that have not started
+// yet have a zero Start and Never completion.
+func (t *traceDriver) Records() []*FlowRecord {
+	if t.run == nil {
+		return nil
+	}
+	return t.run.records
+}

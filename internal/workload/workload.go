@@ -154,6 +154,19 @@ type ShortFlows struct {
 	generated int64
 }
 
+// ArrivalRateForLoad returns the flows-per-second Poisson rate that
+// offers the given bottleneck load: lambda = rho * C / (E[size] * segment
+// bits). A zero segment size means units.DefaultSegment. Time-varying
+// profiles use the same conversion so a constant profile at this rate is
+// the stationary source, draw for draw.
+func ArrivalRateForLoad(load float64, rate units.BitRate, seg units.ByteSize, sizes SizeDist) float64 {
+	if seg == 0 {
+		seg = units.DefaultSegment
+	}
+	segsPerSec := load * float64(rate) / float64(seg.Bits())
+	return segsPerSec / sizes.Mean()
+}
+
 // NewShortFlows returns a stopped source; call Start.
 func NewShortFlows(cfg ShortFlowConfig) *ShortFlows {
 	if cfg.Dumbbell == nil || cfg.RNG == nil || cfg.Sizes == nil {
@@ -162,13 +175,7 @@ func NewShortFlows(cfg ShortFlowConfig) *ShortFlows {
 	if cfg.Load <= 0 || cfg.Load >= 1 {
 		panic(fmt.Sprintf("workload: short-flow load %v out of (0,1)", cfg.Load))
 	}
-	seg := cfg.TCP.SegmentSize
-	if seg == 0 {
-		seg = units.DefaultSegment
-	}
-	c := float64(cfg.Dumbbell.Config().BottleneckRate)
-	segsPerSec := cfg.Load * c / float64(seg.Bits())
-	lambda := segsPerSec / cfg.Sizes.Mean()
+	lambda := ArrivalRateForLoad(cfg.Load, cfg.Dumbbell.Config().BottleneckRate, cfg.TCP.SegmentSize, cfg.Sizes)
 	return &ShortFlows{
 		cfg:       cfg,
 		sched:     cfg.Dumbbell.Config().Sched,
@@ -255,20 +262,5 @@ func (g *ShortFlows) launch() {
 // should drain the system (or report incomplete) before trusting the
 // number.
 func (g *ShortFlows) AFCT(from, to units.Time) (afct units.Duration, completed, censored int) {
-	var sum units.Duration
-	for _, r := range g.Records {
-		if r.Start < from || r.Start > to {
-			continue
-		}
-		if r.Completed == units.Never {
-			censored++
-			continue
-		}
-		sum += r.Duration()
-		completed++
-	}
-	if completed == 0 {
-		return 0, 0, censored
-	}
-	return sum / units.Duration(completed), completed, censored
+	return RecordAFCT(g.Records, from, to)
 }

@@ -72,6 +72,7 @@ type options struct {
 	parallelism *int
 	audit       *Auditor
 	cache       *Cache
+	workload    Workload
 }
 
 func applyOptions(opts []Option) options {
@@ -125,6 +126,18 @@ func WithRED(on bool) Option {
 // it — one simulation is always one goroutine.
 func WithParallelism(n int) Option {
 	return func(o *options) { o.parallelism = &n }
+}
+
+// WithWorkload overrides the traffic driving a SimulateProfile run with
+// any Workload — a time-varying ProfileWorkload, a TraceWorkload, a
+// SessionWorkload or the stationary PoissonWorkload — so one base
+// scenario can grid over traffic models the way WithVariant grids over
+// congestion control. Workloads are pure data: with WithCache set, the
+// workload participates in the cache key like any other config field.
+// Only SimulateProfile honours it; the legacy entry points' traffic is
+// part of their scenario shape.
+func WithWorkload(w Workload) Option {
+	return func(o *options) { o.workload = w }
 }
 
 // WithMetrics attaches a telemetry registry to the run. After the run

@@ -47,6 +47,14 @@ var matrixEntryPoints = []struct {
 			Warmup:    1 * Second, Measure: 2 * Second,
 		}, opts...)
 	}},
+	{"SimulateProfile", func(opts ...Option) any {
+		return SimulateProfile(ProfileSimulation{
+			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+			BufferPackets: 30, Stations: 10,
+			Workload: matrixProfileWorkload(),
+			Warmup:   1 * Second, Measure: 3 * Second, Drain: 10 * Second,
+		}, opts...)
+	}},
 	{"SimulateTrace", func(opts ...Option) any {
 		return SimulateTrace(TraceSimulation{
 			Seed: 1, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
@@ -58,6 +66,21 @@ var matrixEntryPoints = []struct {
 			BufferPackets: 30,
 		}, opts...)
 	}},
+}
+
+// matrixProfileWorkload is the tiny time-varying workload the matrix
+// drives SimulateProfile with: the flash-crowd shape compressed 12x so
+// the spike lands inside the short measurement window.
+func matrixProfileWorkload() Workload {
+	p, err := FlashCrowdProfile.Profile().Compress(12)
+	if err != nil {
+		panic(err)
+	}
+	w, err := ProfileWorkload(p.ScaleTo(20, 4), GeometricSize(10), 16)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // TestOptionsMatrix runs every public entry point under every functional
@@ -129,6 +152,86 @@ func TestOptionsMatrix(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestWithWorkloadMatrix drives SimulateProfile through WithWorkload
+// for every workload family, each crossed with the observer and policy
+// options: audited runs must be clean, metrics must not perturb,
+// WithRED must change the scenario, and cached runs must replay
+// bit-identically with the workload participating in the key.
+func TestWithWorkloadMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation runs")
+	}
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ProfileSimulation{
+		Seed: 2, Link: Link{Rate: 10 * Mbps, RTT: 50 * Millisecond},
+		BufferPackets: 30, Stations: 10,
+		Warmup: 1 * Second, Measure: 3 * Second, Drain: 10 * Second,
+	}
+	workloads := []struct {
+		name string
+		w    Workload
+	}{
+		{"poisson", PoissonWorkload(0.5, FixedSize(14), 16)},
+		{"sessions", SessionWorkload(6, GeometricSize(10), 200*Millisecond, 16)},
+		{"trace", TraceWorkload([]TraceFlow{
+			{Start: 0, Size: 10}, {Start: 500 * Millisecond, Size: 30}, {Start: 1 * Second, Size: 5},
+		}, 16)},
+		{"profile", matrixProfileWorkload()},
+	}
+	keys := make(map[string]ProfileResult)
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			run := func(opts ...Option) ProfileResult {
+				return SimulateProfile(base, append([]Option{WithWorkload(wl.w)}, opts...)...)
+			}
+			plain := run()
+			if plain.Generated == 0 {
+				t.Fatal("workload generated no flows")
+			}
+
+			aud := NewAuditor()
+			if got := run(WithAudit(aud)); got != plain {
+				t.Errorf("audit perturbed the result:\ngot  %+v\nbase %+v", got, plain)
+			}
+			if aud.Count() > 0 {
+				t.Fatalf("audit violations:\n%s", aud)
+			}
+			if got := run(WithMetrics(NewRegistry())); got != plain {
+				t.Errorf("metrics perturbed the result:\ngot  %+v\nbase %+v", got, plain)
+			}
+			if red := run(WithRED(true)); red == plain {
+				t.Error("WithRED did not change the scenario")
+			}
+
+			cold := run(WithCacheStore(cache))
+			if cold != plain {
+				t.Errorf("caching perturbed the result:\ngot  %+v\nbase %+v", cold, plain)
+			}
+			before := cache.Stats()
+			if warm := run(WithCacheStore(cache)); warm != cold {
+				t.Errorf("cache replay differs:\nwarm %+v\ncold %+v", warm, cold)
+			}
+			if cache.Stats().Hits == before.Hits {
+				t.Error("identical rerun missed the cache")
+			}
+			keys[wl.name] = cold
+		})
+	}
+	// Different workloads over the same scenario must produce different
+	// results — i.e. the workload really participates in the cache key
+	// and the simulation, rather than all mapping to one run.
+	seen := make(map[ProfileResult]string)
+	for name, res := range keys {
+		if other, dup := seen[res]; dup {
+			t.Errorf("workloads %q and %q produced identical results", name, other)
+		}
+		seen[res] = name
 	}
 }
 
