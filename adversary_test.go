@@ -1,0 +1,77 @@
+package bufsim_test
+
+import (
+	"testing"
+
+	"bufsim"
+)
+
+// TestSimulateAdversary drives the facade for every pattern: the pulse
+// train must defeat even a full-BDP buffer, the AIMD cohort must read
+// synchronized, and the parking lot must report a loaded chain.
+func TestSimulateAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (scaled) adversarial scenarios")
+	}
+	link := bufsim.Link{Rate: 20 * bufsim.Mbps, RTT: 80 * bufsim.Millisecond}
+	base := bufsim.AdversarySimulation{
+		Seed: 7, Link: link, Flows: 8, BufferPackets: link.BDP(),
+		Warmup: 2 * bufsim.Second, Measure: 4 * bufsim.Second,
+	}
+
+	pulse := base
+	pulse.Pattern = bufsim.AdversaryPulse
+	aud := bufsim.NewAuditor()
+	res := bufsim.SimulateAdversary(pulse, bufsim.WithAudit(aud))
+	if err := aud.Err(); err != nil {
+		t.Fatalf("pulse under audit: %v", err)
+	}
+	if res.LossRate == 0 {
+		t.Errorf("pulse at a full BDP lost nothing: %+v", res)
+	}
+	if res.BufferPackets != link.BDP() {
+		t.Errorf("buffer echoed as %d, want %d", res.BufferPackets, link.BDP())
+	}
+
+	aimd := base
+	aimd.Pattern = bufsim.AdversarySyncAIMD
+	aimd.BufferPackets = link.BDP() / 10
+	if got := bufsim.SimulateAdversary(aimd); got.SyncIndex < 1.2 {
+		t.Errorf("aimdsync sync index %.2f, want synchronized (>= 1.2)", got.SyncIndex)
+	}
+
+	lot := base
+	lot.Pattern = bufsim.AdversaryParkingLot
+	if got := bufsim.SimulateAdversary(lot); got.Utilization <= 0 || got.SyncIndex != 0 {
+		t.Errorf("parking lot: %+v", got)
+	}
+}
+
+// TestSimulateAdversaryValidate pins the config checks.
+func TestSimulateAdversaryValidate(t *testing.T) {
+	if err := (bufsim.AdversarySimulation{}).Validate(); err == nil {
+		t.Error("zero Flows did not error")
+	}
+	if err := (bufsim.AdversarySimulation{Flows: 4, BufferPackets: -1}).Validate(); err == nil {
+		t.Error("negative buffer did not error")
+	}
+	if err := (bufsim.AdversarySimulation{Flows: 4}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestParseAdversary covers the facade's name round-trip.
+func TestParseAdversary(t *testing.T) {
+	for _, name := range bufsim.AdversaryNames() {
+		p, err := bufsim.ParseAdversary(name)
+		if err != nil {
+			t.Fatalf("ParseAdversary(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("ParseAdversary(%q) = %v", name, p)
+		}
+	}
+	if _, err := bufsim.ParseAdversary("no-such-pattern"); err == nil {
+		t.Error("unknown pattern did not error")
+	}
+}

@@ -571,10 +571,11 @@ func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 type TraceFlow = workload.FlowSpec
 
 // ParseTrace reads a "start_seconds,size_segments" CSV of flows (comments
-// and a header line tolerated), for replay with SimulateTrace.
+// and a header line tolerated), for replay with SimulateTrace. Rows must
+// be ordered by start time; out-of-order rows are an error.
 //
-// Deprecated: use ReadFlows, which also accepts JSON flow records and
-// rejects out-of-order start times instead of silently reordering them.
+// Deprecated: use ReadFlows, which additionally accepts JSON flow
+// records.
 func ParseTrace(r io.Reader) ([]TraceFlow, error) { return workload.ParseTrace(r) }
 
 // TraceSimulation configures SimulateTrace: replay recorded flows over a

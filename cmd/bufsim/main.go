@@ -52,6 +52,7 @@ func main() {
 		wlArg     = flag.String("workload", "", "time-varying workload profile: a preset name ("+strings.Join(bufsim.ProfileNames(), ", ")+") or a profile .json file; runs the profile scenario instead of the long-lived one, with -flows as the peak population")
 		wlLoad    = flag.Float64("workload-load", 0.85, "short-flow offered load at the profile's arrival peak")
 		wlFlowLen = flag.Int64("workload-flow-length", 14, "short-flow size in segments for -workload")
+		advArg    = flag.String("adversary", "", "adversarial pattern ("+strings.Join(bufsim.AdversaryNames(), ", ")+"); runs worst-case traffic instead of the long-lived scenario, with -flows as the cohort size")
 	)
 	flag.Parse()
 
@@ -130,6 +131,16 @@ func main() {
 		}
 	}
 	printRules(link, *flows, b)
+	if *advArg != "" {
+		if *wlArg != "" {
+			log.Fatal("-adversary and -workload are mutually exclusive")
+		}
+		runAdversaryAndPrint(*advArg, bufsim.AdversarySimulation{
+			Seed: *seed, Link: link, Flows: *flows, BufferPackets: b,
+			Warmup: warmup, Measure: measure,
+		}, *skipSim, *metrics, *auditOn, cache)
+		return
+	}
 	if *wlArg != "" {
 		runProfileAndPrint(profileScenario{
 			arg: *wlArg, load: *wlLoad, flowLen: *wlFlowLen,
@@ -233,6 +244,61 @@ func runAndPrint(link bufsim.Link, cfg bufsim.Simulation, skip bool, metricsPath
 	}
 	if res.Utilization < 0.98 {
 		fmt.Println("note: below 98% utilization — try a larger -buffer-factor or more flows")
+	}
+}
+
+// runAdversaryAndPrint runs the -adversary scenario: one worst-case
+// traffic pattern against the chosen buffer, reporting the failure-mode
+// measurements instead of the long-lived scenario's.
+func runAdversaryAndPrint(arg string, cfg bufsim.AdversarySimulation, skip bool, metricsPath string, auditOn bool, cache *bufsim.Cache) {
+	p, err := bufsim.ParseAdversary(arg)
+	if err != nil {
+		log.Fatalf("-adversary: %v", err)
+	}
+	cfg.Pattern = p
+	fmt.Printf("adversary:       %s — %s\n", p, p.Doc())
+	if skip {
+		return
+	}
+	if metricsPath != "" {
+		log.Fatal("-metrics is not supported with -adversary (the pattern runners publish no telemetry)")
+	}
+	var opts []bufsim.Option
+	var aud *bufsim.Auditor
+	if auditOn {
+		aud = bufsim.NewAuditor()
+		opts = append(opts, bufsim.WithAudit(aud))
+	}
+	if cache != nil {
+		opts = append(opts, bufsim.WithCacheStore(cache))
+	}
+	fmt.Printf("simulating %d-strong %s cohort for %v (+%v warmup)...\n",
+		cfg.Flows, p, cfg.Measure, cfg.Warmup)
+	res := bufsim.SimulateAdversary(cfg, opts...)
+	fmt.Printf("measured:        %.2f%% utilization, %.3f%% loss, mean queue %.0f pkts, peak %d pkts\n",
+		100*res.Utilization, 100*res.LossRate, res.MeanQueuePackets, res.PeakQueuePackets)
+	if res.SyncIndex != 0 {
+		fmt.Printf("sync index:      %.2f (1.0 = the desynchronized CLT prediction)\n", res.SyncIndex)
+	}
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		fmt.Println("audit:           all invariants held")
+	}
+	if cache != nil {
+		s := cache.Stats()
+		if s.Hits > 0 {
+			fmt.Println("cache:           hit — result replayed from a previous identical run")
+		} else {
+			fmt.Println("cache:           miss — result stored for next time")
+		}
+		if fails := cache.VerifyFailures(); len(fails) > 0 {
+			log.Fatalf("cache-verify: recomputation mismatched the stored result (%d failure(s))", len(fails))
+		}
+	}
+	if res.Utilization < 0.98 {
+		fmt.Println("note: below 98% utilization — the pattern defeated this buffer")
 	}
 }
 

@@ -30,6 +30,13 @@
 //	paperexp -exp flashcrowd buffer sizes vs a traffic surge: arrivals and
 //	                         the long-lived population n(t) spike together
 //	                         (-workload swaps in another profile shape)
+//	paperexp -exp adversarial worst-case traffic vs the buffer ladder:
+//	                         synchronized pulse trains, lockstep AIMD
+//	                         cohorts and a loaded parking-lot chain
+//	                         (-adversary restricts to one pattern)
+//	paperexp -exp probe      black-box probe validation: estimate buffer
+//	                         size and classify the drop discipline of
+//	                         known queues, then score the answers
 //	paperexp -exp all        everything above
 //
 // -quick shrinks every experiment (lower rates, fewer points, shorter
@@ -46,8 +53,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"bufsim/internal/adversary"
 	"bufsim/internal/audit"
 	"bufsim/internal/experiment"
 	"bufsim/internal/metrics"
@@ -77,6 +86,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "continue an interrupted run from its checkpoint manifests (implies -cache)")
 		verify   = flag.Bool("cache-verify", false, "recompute a sample of cache hits and fail on any digest mismatch (implies -cache)")
 		wlArg    = flag.String("workload", "", "workload profile for the flashcrowd experiment: a preset name (see bufsim.ProfileNames) or a profile .json file")
+		advArg   = flag.String("adversary", "", "restrict -exp adversarial to one pattern ("+strings.Join(adversary.PatternNames(), ", ")+"); default all")
 	)
 	flag.Parse()
 
@@ -92,7 +102,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par, workload: *wlArg}
+	r := runner{quick: *quick, seed: *seed, csvDir: *csvDir, svgDir: *svgDir, parallel: *par, workload: *wlArg, adversary: *advArg}
 	if *resume || *verify {
 		*cacheOn = true
 	}
@@ -126,7 +136,7 @@ func main() {
 		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "sync", "red", "pareto", "pacing", "smooth", "internet2",
 			"multihop", "variants", "ecn", "harpoon", "rttspread", "codel",
-			"ccfamilies", "flashcrowd"}
+			"ccfamilies", "flashcrowd", "adversarial", "probe"}
 	}
 	// The run manifest records which experiments of this exact invocation
 	// have already printed their output, so -resume skips straight to the
@@ -187,16 +197,17 @@ func main() {
 }
 
 type runner struct {
-	quick    bool
-	seed     int64
-	csvDir   string
-	svgDir   string
-	parallel int    // worker bound for the sweeping experiments; 0 = all CPUs
-	workload string // -workload: profile preset name or .json path
-	metrics  *metrics.Registry
-	audit    *audit.Auditor  // nil unless -audit
-	cache    *runcache.Store // nil unless -cache
-	resume   bool
+	quick     bool
+	seed      int64
+	csvDir    string
+	svgDir    string
+	parallel  int    // worker bound for the sweeping experiments; 0 = all CPUs
+	workload  string // -workload: profile preset name or .json path
+	adversary string // -adversary: restrict the adversarial sweep to one pattern
+	metrics   *metrics.Registry
+	audit     *audit.Auditor  // nil unless -audit
+	cache     *runcache.Store // nil unless -cache
+	resume    bool
 }
 
 // verifySample is the fraction of cache hits -cache-verify recomputes.
@@ -286,6 +297,10 @@ func (r runner) run(id string) error {
 		return r.ccFamilies()
 	case "flashcrowd":
 		return r.flashCrowd()
+	case "adversarial":
+		return r.adversarial()
+	case "probe":
+		return r.probeLadder()
 	case "smooth":
 		return r.smoothing()
 	default:
@@ -735,6 +750,64 @@ func (r runner) flashCrowd() error {
 	chart.Add("utilization", plot.LinePoints, util.Times, util.Values)
 	chart.Add("loss rate", plot.LinePoints, loss.Times, loss.Values)
 	return r.writeSVG("flashcrowd_buffer", chart)
+}
+
+func (r runner) adversarial() error {
+	cfg := experiment.AdversarialConfig{Seed: r.seed, Metrics: r.child(), Parallelism: r.parallel, Audit: r.audit, Cache: r.cache, Resume: r.resume}
+	if r.adversary != "" {
+		p, err := adversary.ParsePattern(r.adversary)
+		if err != nil {
+			return err
+		}
+		cfg.Patterns = []adversary.Pattern{p}
+		fmt.Printf("pattern %s: %s\n", p, p.Doc())
+	}
+	if r.quick {
+		cfg.N = 8
+		cfg.BottleneckRate = 20 * units.Mbps
+		cfg.BufferFactors = []float64{0.1, 0.5, 1.0}
+		cfg.Hops = 2
+		cfg.Warmup, cfg.Measure = 2*units.Second, 6*units.Second
+	}
+	table := experiment.RunAdversarial(cfg)
+	r.mergeMetrics("adversarial", cfg.Metrics)
+	if err := experiment.Render(os.Stdout, table); err != nil {
+		return err
+	}
+
+	// One CSV per pattern: the failure-mode curves over the buffer ladder.
+	byPattern := map[string][]experiment.AdversarialRow{}
+	var order []string
+	for _, row := range table {
+		name := row.Pattern.String()
+		if _, ok := byPattern[name]; !ok {
+			order = append(order, name)
+		}
+		byPattern[name] = append(byPattern[name], row)
+	}
+	for _, name := range order {
+		util := &trace.Series{Name: "utilization"}
+		loss := &trace.Series{Name: "loss_rate"}
+		for _, row := range byPattern[name] {
+			util.Times = append(util.Times, row.BufferFactor)
+			util.Values = append(util.Values, row.Utilization)
+			loss.Times = append(loss.Times, row.BufferFactor)
+			loss.Values = append(loss.Values, row.LossRate)
+		}
+		if err := r.writeCSV("adversarial_"+name, util, loss); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r runner) probeLadder() error {
+	cfg := experiment.ProbeLadderConfig{Seed: r.seed, Cache: r.cache}
+	if r.quick {
+		cfg.Limits = []int{16, 64, 256}
+	}
+	table := experiment.RunProbeLadder(cfg)
+	return experiment.Render(os.Stdout, table)
 }
 
 func (r runner) rttSpread() error {

@@ -18,7 +18,7 @@ func TestRunnerQuickExperiments(t *testing.T) {
 	dir := t.TempDir()
 	r := runner{quick: true, seed: 1, csvDir: filepath.Join(dir, "csv"), svgDir: filepath.Join(dir, "svg")}
 
-	for _, id := range []string{"fig2", "fig6", "ecn", "multihop", "variants", "codel", "ccfamilies"} {
+	for _, id := range []string{"fig2", "fig6", "ecn", "multihop", "variants", "codel", "ccfamilies", "adversarial", "probe"} {
 		if err := r.run(id); err != nil {
 			t.Fatalf("run(%q): %v", id, err)
 		}
@@ -32,6 +32,9 @@ func TestRunnerQuickExperiments(t *testing.T) {
 		"svg/fig6_window_distribution.svg",
 		"csv/ccfamilies_min_buffer.csv",
 		"svg/ccfamilies_min_buffer.svg",
+		"csv/adversarial_pulse.csv",
+		"csv/adversarial_aimdsync.csv",
+		"csv/adversarial_parkinglot.csv",
 	} {
 		path := filepath.Join(dir, want)
 		data, err := os.ReadFile(path)
@@ -48,6 +51,22 @@ func TestRunnerQuickExperiments(t *testing.T) {
 		if strings.HasSuffix(want, ".csv") && !strings.Contains(string(data), "time_s") {
 			t.Errorf("artifact %s has no CSV header", want)
 		}
+	}
+}
+
+// TestRunnerAdversaryFlag covers the -adversary pattern filter: a bad
+// name fails fast, a valid one restricts the sweep to that pattern.
+func TestRunnerAdversaryFlag(t *testing.T) {
+	r := runner{quick: true, seed: 1, adversary: "no-such-pattern"}
+	if err := r.run("adversarial"); err == nil {
+		t.Error("bad -adversary pattern did not error")
+	}
+	if testing.Short() {
+		t.Skip("runs a real (scaled) sweep")
+	}
+	r.adversary = "pulse"
+	if err := r.run("adversarial"); err != nil {
+		t.Fatalf("run(adversarial) with -adversary pulse: %v", err)
 	}
 }
 

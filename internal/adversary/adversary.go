@@ -1,0 +1,122 @@
+// Package adversary generates deliberately hostile traffic for the
+// buffer-sizing experiments. The paper's sqrt(n) rule rests on
+// statistical assumptions — desynchronized sawtooths with independent
+// random phases (§3), a single point of congestion (§5.1), and smooth
+// aggregate arrivals — and the sources here are built to violate each
+// one on purpose, in the spirit of adversarial queueing theory: instead
+// of asking how a buffer behaves under plausible traffic, ask what the
+// worst admissible traffic does to the buffer.
+//
+// Three patterns are provided, one per broken assumption:
+//
+//   - Pulse: phase-aligned on/off CBR trains from every sender at once,
+//     so the aggregate arrives as periodic line-rate bursts rather than
+//     the smoothed sum the central-limit argument expects.
+//   - SyncAIMD: a cohort of identical long-lived TCP flows started at
+//     the same instant; run over equal RTTs the sawtooths stay in
+//     lockstep and the buffer sees the full-amplitude aggregate swing
+//     the sqrt(n) reduction assumes away.
+//   - ParkingLotLoad: through-flows crossing every hop of a parking-lot
+//     chain plus per-hop cross traffic sized so each core link is an
+//     equal bottleneck — the multi-congestion-point case §5.1 assumes
+//     is rare.
+//
+// Every pattern is deterministic by design: bursts carry no jitter and
+// cohort starts are simultaneous, because the adversary's power is
+// exactly the randomness the normal workloads add to be realistic.
+package adversary
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern identifies one adversarial traffic pattern.
+type Pattern int
+
+const (
+	// PatternPulse is the burst-synchronized CBR pulse train (Pulse).
+	PatternPulse Pattern = iota
+	// PatternSyncAIMD is the phase-synchronized AIMD cohort (SyncAIMD).
+	PatternSyncAIMD
+	// PatternParkingLot is the load-balanced multi-bottleneck pattern
+	// (ParkingLotLoad).
+	PatternParkingLot
+
+	numPatterns = int(PatternParkingLot) + 1
+)
+
+// patterns is the registry: the canonical name, accepted aliases, and a
+// one-line description per pattern. Parsing and printing derive from it
+// so CLIs, configs and tables cannot drift apart.
+var patterns = [numPatterns]struct {
+	name    string
+	aliases []string
+	doc     string
+}{
+	PatternPulse: {"pulse", []string{"cbr-pulse", "burst"},
+		"phase-aligned on/off CBR trains: the aggregate arrives as periodic line-rate bursts"},
+	PatternSyncAIMD: {"aimdsync", []string{"sync-aimd", "lockstep"},
+		"identical TCP flows started at the same instant: sawtooths in lockstep, full-amplitude window swings"},
+	PatternParkingLot: {"parkinglot", []string{"multihop-load", "loadbalanced"},
+		"through plus per-hop flows loading every link of a parking-lot chain equally: no single congestion point"},
+}
+
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= numPatterns {
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+	return patterns[p].name
+}
+
+// Doc returns the pattern's one-line description.
+func (p Pattern) Doc() string {
+	if p < 0 || int(p) >= numPatterns {
+		return ""
+	}
+	return patterns[p].doc
+}
+
+// ParsePattern resolves a canonical name or alias, case-insensitively.
+func ParsePattern(s string) (Pattern, error) {
+	want := strings.ToLower(strings.TrimSpace(s))
+	for i := range patterns {
+		if patterns[i].name == want {
+			return Pattern(i), nil
+		}
+		for _, a := range patterns[i].aliases {
+			if a == want {
+				return Pattern(i), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("adversary: unknown pattern %q (have %s)",
+		s, strings.Join(PatternNames(), ", "))
+}
+
+// PatternNames returns the canonical names in registry order.
+func PatternNames() []string {
+	names := make([]string, numPatterns)
+	for i := range patterns {
+		names[i] = patterns[i].name
+	}
+	return names
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p Pattern) MarshalText() ([]byte, error) {
+	if p < 0 || int(p) >= numPatterns {
+		return nil, fmt.Errorf("adversary: cannot marshal pattern(%d)", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Pattern) UnmarshalText(text []byte) error {
+	v, err := ParsePattern(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}

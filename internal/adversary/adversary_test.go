@@ -1,0 +1,240 @@
+package adversary
+
+import (
+	"testing"
+
+	"bufsim/internal/queue"
+	"bufsim/internal/sim"
+	"bufsim/internal/stats"
+	"bufsim/internal/tcp"
+	"bufsim/internal/topology"
+	"bufsim/internal/units"
+	"bufsim/internal/workload"
+)
+
+func TestPatternRegistry(t *testing.T) {
+	names := PatternNames()
+	if len(names) != numPatterns {
+		t.Fatalf("PatternNames() = %v, want %d entries", names, numPatterns)
+	}
+	for i, name := range names {
+		p, err := ParsePattern(name)
+		if err != nil || p != Pattern(i) {
+			t.Errorf("ParsePattern(%q) = %v, %v", name, p, err)
+		}
+		if Pattern(i).String() != name {
+			t.Errorf("Pattern(%d).String() = %q, want %q", i, Pattern(i).String(), name)
+		}
+		if Pattern(i).Doc() == "" {
+			t.Errorf("Pattern(%d) has no doc line", i)
+		}
+	}
+	for alias, want := range map[string]Pattern{
+		"cbr-pulse":       PatternPulse,
+		"BURST":           PatternPulse,
+		"sync-aimd":       PatternSyncAIMD,
+		"lockstep":        PatternSyncAIMD,
+		" multihop-load ": PatternParkingLot,
+	} {
+		if p, err := ParsePattern(alias); err != nil || p != want {
+			t.Errorf("ParsePattern(%q) = %v, %v; want %v", alias, p, err, want)
+		}
+	}
+	if _, err := ParsePattern("nonsense"); err == nil {
+		t.Error("ParsePattern accepted an unknown name")
+	}
+	var p Pattern
+	if err := p.UnmarshalText([]byte("aimdsync")); err != nil || p != PatternSyncAIMD {
+		t.Errorf("UnmarshalText = %v, %v", p, err)
+	}
+	if b, err := PatternParkingLot.MarshalText(); err != nil || string(b) != "parkinglot" {
+		t.Errorf("MarshalText = %q, %v", b, err)
+	}
+	if _, err := Pattern(99).MarshalText(); err == nil {
+		t.Error("MarshalText accepted an out-of-range pattern")
+	}
+}
+
+// testDumbbell builds a small fixed-RTT dumbbell with a DropTail buffer.
+func testDumbbell(stations, bufferPkts int, rate units.BitRate) (*sim.Scheduler, *topology.Dumbbell) {
+	sched := sim.NewScheduler()
+	d := topology.NewDumbbell(topology.Config{
+		Sched:           sched,
+		BottleneckRate:  rate,
+		BottleneckDelay: 10 * units.Millisecond,
+		Buffer:          queue.PacketLimit(bufferPkts),
+		Stations:        stations,
+		RTTMin:          100 * units.Millisecond,
+		RTTMax:          100 * units.Millisecond,
+	})
+	return sched, d
+}
+
+func runPulse(t *testing.T) (*PulseDriver, *topology.Dumbbell) {
+	t.Helper()
+	sched, d := testDumbbell(4, 20, 10*units.Mbps)
+	src := Pulse{
+		Senders:  4,
+		PeakRate: 40 * units.Mbps, // 4x the bottleneck during each burst
+		Period:   200 * units.Millisecond,
+		Duty:     0.25,
+	}
+	drv, ok := src.Bind(d, nil).(*PulseDriver)
+	if !ok {
+		t.Fatal("pulse Bind did not return a *PulseDriver")
+	}
+	drv.Start()
+	sched.Run(units.Epoch.Add(10 * units.Second))
+	drv.Stop()
+	sched.Run(units.Epoch.Add(12 * units.Second)) // drain in-flight packets
+	return drv, d
+}
+
+func TestPulseOverloadsDuringBursts(t *testing.T) {
+	drv, d := runPulse(t)
+	// 10s x 0.25 duty at 40 Mbps aggregate, quantized per train; allow a
+	// few percent slack for the window-boundary packets.
+	onAir := units.Duration(float64(10*units.Second) * 0.25)
+	expected := int64(onAir) * int64(40*units.Mbps) / int64(units.Second) / int64(units.DefaultSegment.Bits())
+	if low, high := expected*95/100, expected*105/100; drv.Sent() < low || drv.Sent() > high {
+		t.Errorf("sent %d packets, want ~%d", drv.Sent(), expected)
+	}
+	// Each burst offers 4x the line rate: the 20-packet buffer must
+	// overflow every period even though the mean load is only 1x.
+	if lr := drv.LossRate(); lr < 0.05 {
+		t.Errorf("loss rate %.4f; synchronized bursts should overflow the buffer", lr)
+	}
+	if got := d.Bottleneck.Queue().Stats().DroppedPackets; got == 0 {
+		t.Error("bottleneck queue recorded no drops")
+	}
+	if drv.MeanDelay() <= 0 {
+		t.Error("no delay samples recorded")
+	}
+	if drv.Generated() != 4 || drv.Active() != 0 {
+		t.Errorf("generated %d active %d after stop", drv.Generated(), drv.Active())
+	}
+}
+
+func TestPulseDeterministic(t *testing.T) {
+	a, _ := runPulse(t)
+	b, _ := runPulse(t)
+	if a.Sent() != b.Sent() || a.Received() != b.Received() {
+		t.Errorf("pulse runs diverged: %d/%d vs %d/%d",
+			a.Sent(), a.Received(), b.Sent(), b.Received())
+	}
+}
+
+// TestSyncAIMDSharedLossEpochs pins the cohort's phase alignment: with
+// equal RTTs and simultaneous starts the flows fill the buffer together
+// and take their losses together, so every flow retransmits (no
+// bystanders) and the windows stay tightly bunched. Exact per-flow
+// lockstep is not claimed — which packets a full buffer rejects depends
+// on arrival interleaving — but the spread stays small because every
+// flow rides the same loss epochs.
+func TestSyncAIMDSharedLossEpochs(t *testing.T) {
+	sched, d := testDumbbell(8, 25, 10*units.Mbps)
+	src := SyncAIMD{N: 8, TCP: tcp.Config{SegmentSize: units.DefaultSegment}}
+	drv := src.Bind(d, sim.NewRNG(1)).(*SyncAIMDDriver)
+	drv.Start()
+	sched.Run(units.Epoch.Add(30 * units.Second))
+
+	flows := drv.Flows()
+	if len(flows) != 8 || drv.Active() != 8 || drv.Generated() != 8 {
+		t.Fatalf("cohort size: flows=%d active=%d generated=%d", len(flows), drv.Active(), drv.Generated())
+	}
+	minW, maxW := flows[0].Sender.Cwnd(), flows[0].Sender.Cwnd()
+	for i, f := range flows {
+		if f.Sender.Stats().SegmentsSent == 0 {
+			t.Fatalf("flow %d sent nothing", i)
+		}
+		if f.Sender.Stats().Retransmits == 0 {
+			t.Errorf("flow %d never retransmitted; cohort should take losses together", i)
+		}
+		if w := f.Sender.Cwnd(); w < minW {
+			minW = w
+		} else if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 1.25*minW {
+		t.Errorf("cwnd spread [%.2f, %.2f] too wide for a phase-aligned cohort", minW, maxW)
+	}
+}
+
+// TestSyncAIMDAmplifiesAggregateSwing pins the property the pattern
+// exists to produce: relative to the same cohort with the paper's
+// random staggered starts, the synchronized cohort's aggregate window
+// swings with much larger relative amplitude — the sqrt(n) smoothing is
+// defeated.
+func TestSyncAIMDAmplifiesAggregateSwing(t *testing.T) {
+	spec := tcp.Config{SegmentSize: units.DefaultSegment}
+	cov := func(start func(*sim.Scheduler, *topology.Dumbbell)) float64 {
+		sched, d := testDumbbell(8, 25, 10*units.Mbps)
+		start(sched, d)
+		var w stats.Welford
+		for at := 10 * units.Second; at <= 30*units.Second; at += 100 * units.Millisecond {
+			sched.Run(units.Epoch.Add(at))
+			w.Add(d.AggregateWindow())
+		}
+		return w.CoV()
+	}
+	sync := cov(func(sched *sim.Scheduler, d *topology.Dumbbell) {
+		SyncAIMD{N: 8, TCP: spec}.Bind(d, sim.NewRNG(1)).Start()
+	})
+	staggered := cov(func(sched *sim.Scheduler, d *topology.Dumbbell) {
+		workload.StartLongLived(d, 8, spec, sim.NewRNG(1), 5*units.Second)
+	})
+	if sync <= staggered {
+		t.Errorf("aggregate-window CoV: synchronized %.4f <= staggered %.4f; pattern failed to synchronize", sync, staggered)
+	}
+}
+
+func TestParkingLotLoadBuild(t *testing.T) {
+	sched := sim.NewScheduler()
+	rate := 20 * units.Mbps
+	hops := 3
+	rates := make([]units.BitRate, hops)
+	delays := make([]units.Duration, hops)
+	buffers := make([]queue.Limit, hops)
+	for i := range rates {
+		rates[i] = rate
+		delays[i] = 5 * units.Millisecond
+		buffers[i] = queue.PacketLimit(30)
+	}
+	p := topology.NewParkingLot(topology.ParkingLotConfig{
+		Sched: sched, Rates: rates, Delays: delays, Buffers: buffers,
+	})
+	load := ParkingLotLoad{Through: 3, PerHop: 2, RTT: 80 * units.Millisecond}
+	if load.FlowsPerLink() != 5 {
+		t.Fatalf("FlowsPerLink = %d", load.FlowsPerLink())
+	}
+	through, cross := load.Build(sched, p, tcp.Config{SegmentSize: units.DefaultSegment})
+	if len(through) != 3 || len(cross) != 6 {
+		t.Fatalf("built %d through, %d cross flows", len(through), len(cross))
+	}
+	if got := len(p.Flows()); got != 9 {
+		t.Fatalf("parking lot has %d flows", got)
+	}
+	sched.Run(units.Epoch.Add(20 * units.Second))
+	for i, l := range p.Links {
+		if l.DeliveredPackets() == 0 {
+			t.Errorf("core link %d delivered nothing", i)
+		}
+	}
+	for i, f := range through {
+		if f.Sender.Stats().SegmentsSent == 0 {
+			t.Errorf("through flow %d sent nothing", i)
+		}
+	}
+	// Every link is loaded; with synchronized starts each hop's queue
+	// sees congestion, not just a single bottleneck.
+	congested := 0
+	for _, dt := range p.DropTails {
+		if dt.Stats().DroppedPackets > 0 {
+			congested++
+		}
+	}
+	if congested == 0 {
+		t.Error("no core queue ever dropped: pattern did not congest the chain")
+	}
+}

@@ -1,0 +1,67 @@
+package adversary
+
+import (
+	"fmt"
+
+	"bufsim/internal/sim"
+	"bufsim/internal/tcp"
+	"bufsim/internal/topology"
+	"bufsim/internal/units"
+)
+
+// ParkingLotLoad is the multi-bottleneck pattern: Through TCP flows
+// crossing every hop of a parking-lot chain, plus PerHop cross flows
+// entering and leaving at each hop, all started at the same instant.
+// The load is balanced by construction — every core link carries
+// exactly Through+PerHop flows — so no single link is "the" bottleneck:
+// each through flow sees every hop congested at once, the case the
+// paper's single-congestion-point assumption (§5.1) declares rare. A
+// buffer sized by sqrt of the per-link flow count is then tested
+// against flows whose loss events compound across hops.
+//
+// Unlike Pulse and SyncAIMD this pattern is not a workload.Source — it
+// targets the parking-lot chain rather than the dumbbell — so it
+// exposes a Build method instead.
+type ParkingLotLoad struct {
+	// Through is the number of flows crossing the whole chain; PerHop
+	// is the number of cross flows local to each hop.
+	Through, PerHop int
+	// RTT is every flow's two-way propagation delay. It must be at
+	// least twice the sum of the chain's core-link delays so the
+	// through path fits inside it.
+	RTT units.Duration
+}
+
+func (l ParkingLotLoad) String() string {
+	return fmt.Sprintf("parkinglot(through=%d, perhop=%d, rtt=%v)", l.Through, l.PerHop, l.RTT)
+}
+
+// FlowsPerLink returns the flow count every core link carries.
+func (l ParkingLotLoad) FlowsPerLink() int { return l.Through + l.PerHop }
+
+// Build adds the pattern's flows to p and posts every start at the
+// current instant — the synchronized ignition that lets the hops
+// congest together. It returns the through and cross cohorts.
+func (l ParkingLotLoad) Build(sched *sim.Scheduler, p *topology.ParkingLot, spec tcp.Config) (through, cross []*topology.PathFlow) {
+	if l.Through <= 0 || l.PerHop < 0 {
+		panic(fmt.Sprintf("adversary: ParkingLotLoad through=%d perhop=%d", l.Through, l.PerHop))
+	}
+	hops := len(p.Links)
+	now := sched.Now()
+	start := func(f *topology.PathFlow) {
+		sched.PostAt(now, f.Sender, tcp.OpStart, nil)
+	}
+	for i := 0; i < l.Through; i++ {
+		f := p.AddFlow(0, hops, l.RTT, spec)
+		through = append(through, f)
+		start(f)
+	}
+	for hop := 0; hop < hops; hop++ {
+		for i := 0; i < l.PerHop; i++ {
+			f := p.AddFlow(hop, hop+1, l.RTT, spec)
+			cross = append(cross, f)
+			start(f)
+		}
+	}
+	return through, cross
+}

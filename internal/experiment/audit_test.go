@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bufsim/internal/adversary"
 	"bufsim/internal/audit"
 	"bufsim/internal/tcp"
 	"bufsim/internal/units"
@@ -77,6 +78,36 @@ func TestRandomScenariosUnderAudit(t *testing.T) {
 	})
 	if err := aud.Err(); err != nil {
 		t.Fatalf("mixed traffic: %v", err)
+	}
+
+	// Adversarial patterns are exactly the traffic that stresses the
+	// conservation laws hardest — synchronized bursts overflowing tiny
+	// buffers, lockstep loss epochs, multi-bottleneck chains — so each
+	// randomized point runs one under audit too.
+	for i := 0; i < 6; i++ {
+		aud := audit.New()
+		pc := adversarialPointConfig{
+			Seed:            rng.Int63n(1 << 30),
+			Pattern:         adversary.Pattern(i % len(adversary.PatternNames())),
+			N:               2 + rng.Intn(10),
+			BottleneckRate:  units.BitRate(10+rng.Intn(20)) * units.Mbps,
+			RTT:             units.Duration(40+rng.Intn(80)) * units.Millisecond,
+			SegmentSize:     units.DefaultSegment,
+			BufferFactor:    0.05 + rng.Float64(),
+			PulsePeakFactor: 2 + rng.Float64()*4,
+			PulsePeriod:     units.Duration(100+rng.Intn(200)) * units.Millisecond,
+			PulseDuty:       0.1 + rng.Float64()*0.5,
+			Hops:            2 + rng.Intn(2),
+			Warmup:          units.Duration(1+rng.Intn(2)) * units.Second,
+			Measure:         units.Duration(2+rng.Intn(3)) * units.Second,
+		}
+		row := runAdversarialPoint(pc, aud)
+		if err := aud.Err(); err != nil {
+			t.Fatalf("adversarial %v (%+v): %v", pc.Pattern, pc, err)
+		}
+		if row.Utilization < 0 || row.Utilization > 1.000001 {
+			t.Fatalf("adversarial %v: utilization %v out of range", pc.Pattern, row.Utilization)
+		}
 	}
 }
 

@@ -41,6 +41,10 @@ var digestConfigs = []any{
 	HarpoonConfig{},
 	ProfileRunConfig{},
 	FlashCrowdConfig{},
+	AdversarialConfig{},
+	adversarialPointConfig{},
+	AdversaryScenario{},
+	ProbeLadderConfig{},
 }
 
 // ignoredFieldNames mirrors digestIgnore: the observation-only field

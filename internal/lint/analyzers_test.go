@@ -7,11 +7,17 @@ import (
 	"bufsim/internal/lint/linttest"
 )
 
-func TestSimDeterminism(t *testing.T) { linttest.Run(t, lint.SimDeterminism, "simdet", "profiledet") }
-func TestMapOrder(t *testing.T)       { linttest.Run(t, lint.MapOrder, "mapord") }
-func TestUnitSafety(t *testing.T)     { linttest.Run(t, lint.UnitSafety, "unitsafe", "profileunits") }
-func TestDigestField(t *testing.T)    { linttest.Run(t, lint.DigestField, "digestcfg", "profilecfg") }
-func TestEventCapture(t *testing.T)   { linttest.Run(t, lint.EventCapture, "eventcap") }
+func TestSimDeterminism(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "simdet", "profiledet", "advdet")
+}
+func TestMapOrder(t *testing.T) { linttest.Run(t, lint.MapOrder, "mapord") }
+func TestUnitSafety(t *testing.T) {
+	linttest.Run(t, lint.UnitSafety, "unitsafe", "profileunits", "probeunits")
+}
+func TestDigestField(t *testing.T) {
+	linttest.Run(t, lint.DigestField, "digestcfg", "profilecfg", "advcfg")
+}
+func TestEventCapture(t *testing.T) { linttest.Run(t, lint.EventCapture, "eventcap") }
 
 // TestSuiteComplete pins the analyzer roster: the CI gate, the vettool
 // and the docs all promise these five checks.
@@ -56,6 +62,8 @@ func TestAppliesToScopes(t *testing.T) {
 		{lint.SimDeterminism, "bufsim/internal/experiment", true},
 		{lint.SimDeterminism, "bufsim/internal/workload", true},
 		{lint.SimDeterminism, "bufsim/internal/workload/profile", true},
+		{lint.SimDeterminism, "bufsim/internal/adversary", true},
+		{lint.SimDeterminism, "bufsim/internal/probe", true},
 		{lint.SimDeterminism, "bufsim", true},
 		{lint.SimDeterminism, "bufsim/cmd/paperexp", false}, // CLIs may read the wall clock
 		{lint.SimDeterminism, "bufsim/internal/metrics", false},
@@ -66,6 +74,9 @@ func TestAppliesToScopes(t *testing.T) {
 		{lint.EventCapture, "bufsim/internal/workload", true},
 		{lint.EventCapture, "bufsim/internal/workload/profile", true},
 		{lint.UnitSafety, "bufsim/internal/workload/profile", true},
+		{lint.UnitSafety, "bufsim/internal/adversary", true},
+		{lint.UnitSafety, "bufsim/internal/probe", true},
+		{lint.EventCapture, "bufsim/internal/adversary", true},
 		{lint.DigestField, "bufsim/internal/workload/profile", true},
 		{lint.EventCapture, "bufsim/internal/experiment", true},
 		{lint.MapOrder, "bufsim/internal/experiment", true},

@@ -14,6 +14,8 @@ import (
 // a result).
 var deterministicCorePkgs = map[string]bool{
 	"bufsim":                           true,
+	"bufsim/internal/adversary":        true,
+	"bufsim/internal/probe":            true,
 	"bufsim/internal/sim":              true,
 	"bufsim/internal/tcp":              true,
 	"bufsim/internal/link":             true,

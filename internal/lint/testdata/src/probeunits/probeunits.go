@@ -1,0 +1,47 @@
+// Package probeunits is the unitsafety fixture for the black-box probe:
+// a probe schedule mixes service-time gaps (units.Duration), absolute
+// deadlines (units.Time) and packet sizes (units.ByteSize), so bare
+// literals in those slots and laundering a gap into a deadline are the
+// live hazards.
+package probeunits
+
+import "bufsim/internal/units"
+
+type probeStep struct {
+	Gap    units.Duration // inter-packet spacing at the probed rate
+	Packet units.ByteSize
+}
+
+func badSchedule() []probeStep {
+	return []probeStep{
+		{Gap: 0, Packet: units.DefaultSegment}, // zero is the zero value in every unit
+		{Gap: 800, Packet: 250},                // want `bare literal 800 in field Gap where units\.Duration is expected` `bare literal 250 in field Packet where units\.ByteSize is expected`
+		{Gap: 800 * units.Microsecond, Packet: units.DefaultSegment / 4},
+	}
+}
+
+func goodSchedule() []probeStep {
+	return []probeStep{
+		{Gap: 800 * units.Microsecond, Packet: units.DefaultSegment},
+		{Gap: units.Millisecond, Packet: 250 * units.Byte},
+	}
+}
+
+// deadline turns a drain gap into the next service instant: the
+// sanctioned route is Time.Add, never a direct conversion.
+func deadline(now units.Time, gap units.Duration) units.Time {
+	_ = units.Time(gap) // want `direct conversion units\.Duration -> units\.Time`
+	return now.Add(gap)
+}
+
+// sojourn measures a packet's queueing delay: the span between enqueue
+// and dequeue comes from Sub, not raw subtraction.
+func sojourn(out, in units.Time) units.Duration {
+	_ = out - in // want `subtracting units\.Time values`
+	return out.Sub(in)
+}
+
+func badIdle() units.Duration {
+	var idle units.Duration = 60_000_000_000 // want `bare literal 60_000_000_000 in declaration`
+	return idle
+}

@@ -1,0 +1,68 @@
+package probe_test
+
+import (
+	"testing"
+
+	"bufsim/internal/probe"
+	"bufsim/internal/queue"
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+// FuzzClassifier drives the drop-policy classifier across random
+// (discipline, limit, seed) triples and checks the invariants that hold
+// for every input:
+//
+//   - the probe never panics and never over-estimates the physical limit,
+//   - a drop-tail queue is never classified as anything else (both of
+//     the other signatures are exact zeros for it),
+//   - RED is never classified as CoDel (RED drops only at admission),
+//     and CoDel is never classified as RED (CoDel admits everything
+//     below its physical limit).
+//
+// Exact classification for RED and CoDel additionally needs the signal
+// to be physically present (e.g. a CoDel backlog whose sojourn exceeds
+// the 5 ms target), which the deterministic ladder tests pin; the fuzz
+// checks the classifier never crosses signatures.
+func FuzzClassifier(f *testing.F) {
+	f.Add(uint8(0), uint16(32), int64(1))
+	f.Add(uint8(1), uint16(64), int64(2))
+	f.Add(uint8(2), uint16(128), int64(3))
+	f.Add(uint8(2), uint16(9), int64(4))
+	f.Fuzz(func(t *testing.T, disc uint8, rawLimit uint16, seed int64) {
+		limit := 8 + int(rawLimit)%505 // [8, 512]: within the fill method's validity
+		want := probe.Policy(int(disc) % 3)
+		var q probe.BlackBox
+		switch want {
+		case probe.PolicyDropTail:
+			q = queue.NewDropTail(queue.PacketLimit(limit))
+		case probe.PolicyRED:
+			rng := sim.NewRNG(seed)
+			q = queue.NewRED(queue.DefaultRED(limit, units.TransmissionTime(units.DefaultSegment, probeRate), rng.Float64))
+		case probe.PolicyCoDel:
+			q = queue.NewCoDel(queue.CoDelConfig{Limit: queue.PacketLimit(limit)})
+		}
+		est, err := probe.Run(q, probe.Config{Rate: probeRate})
+		if err != nil {
+			t.Fatalf("disc %v limit %d: %v", want, limit, err)
+		}
+		if est.CapacityPackets < 1 || est.CapacityPackets > limit {
+			t.Fatalf("disc %v limit %d: capacity %d out of [1, %d]", want, limit, est.CapacityPackets, limit)
+		}
+		switch want {
+		case probe.PolicyDropTail:
+			if est.Policy != probe.PolicyDropTail {
+				t.Fatalf("droptail limit %d classified %v (sojourn %.4f, early %.4f)",
+					limit, est.Policy, est.SojournLossFraction, est.EarlyDropFraction)
+			}
+		case probe.PolicyRED:
+			if est.Policy == probe.PolicyCoDel {
+				t.Fatalf("red limit %d classified codel (sojourn %.4f)", limit, est.SojournLossFraction)
+			}
+		case probe.PolicyCoDel:
+			if est.Policy == probe.PolicyRED {
+				t.Fatalf("codel limit %d classified red (early %.4f)", limit, est.EarlyDropFraction)
+			}
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Package probe estimates a queue's buffer behaviour from the outside:
+// it sends packet trains through a queue it cannot inspect and infers
+// the effective buffer size, whether the limit is counted in packets or
+// bytes, and which drop policy governs admission — the black-box
+// methodology of "Empirically Characterizing the Buffer Behaviour of
+// Real Devices" (see PAPERS.md), applied to the simulator's own queue
+// implementations so the inference can be validated against ground
+// truth.
+//
+// The probe owns virtual time: it emulates a fixed-rate server draining
+// the queue, so no scheduler is involved and a probe run is a pure
+// function of (queue state, config). It observes only what a real
+// black-box measurement could observe — whether each offered packet was
+// accepted, and which packets eventually came back out.
+//
+// Method, in phases:
+//
+//  1. Fill: offer a line-rate burst until the queue sustains rejection.
+//     The admitted count is the capacity estimate. RED's probabilistic
+//     early drops are isolated (Floyd's count resets after each), so a
+//     short run of consecutive rejections separates "unlucky" from
+//     "physically full".
+//  2. Drain at the service rate, counting deliveries. Packets that were
+//     accepted but never delivered were dropped inside the queue after
+//     admission — the signature of a sojourn-time policy (CoDel).
+//  3. Refill with smaller packets. A packet-counted limit admits the
+//     same number; a byte-counted limit admits proportionally more.
+//  4. Steady state: hold the queue near half capacity at the service
+//     rate. Admission rejections well below the measured capacity are
+//     the signature of an average-queue policy (RED); a pure drop-tail
+//     queue never rejects below its limit.
+//
+// Assumptions, stated so the validation can probe them: the queue is
+// work-conserving FIFO at a known service rate, and it admits a
+// line-rate burst to its physical limit. A RED whose average-queue
+// estimate catches up within one burst (very large buffers relative to
+// 1/Wq) reads low — the fill stalls where the average crosses the upper
+// threshold rather than at the physical limit.
+package probe
+
+import (
+	"errors"
+	"fmt"
+
+	"bufsim/internal/packet"
+	"bufsim/internal/units"
+)
+
+// BlackBox is the probed surface: admission and service, nothing else.
+// Every queue.Queue satisfies it; the probe deliberately cannot reach
+// Len, Bytes or Stats.
+type BlackBox interface {
+	Enqueue(p *packet.Packet, now units.Time) bool
+	Dequeue(now units.Time) *packet.Packet
+}
+
+// Policy is the inferred drop discipline.
+type Policy int
+
+const (
+	// PolicyDropTail: rejection happens only at the capacity boundary.
+	PolicyDropTail Policy = iota
+	// PolicyRED: admission rejections occur well below capacity.
+	PolicyRED
+	// PolicyCoDel: packets are accepted and then dropped before service.
+	PolicyCoDel
+
+	numPolicies = int(PolicyCoDel) + 1
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyDropTail:
+		return "droptail"
+	case PolicyRED:
+		return "red"
+	case PolicyCoDel:
+		return "codel"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name as printed by String.
+func ParsePolicy(s string) (Policy, error) {
+	for p := PolicyDropTail; int(p) < numPolicies; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("probe: unknown policy %q", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p Policy) MarshalText() ([]byte, error) {
+	if p < 0 || int(p) >= numPolicies {
+		return nil, fmt.Errorf("probe: cannot marshal policy(%d)", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// LimitMode is the inferred unit of the buffer limit.
+type LimitMode int
+
+const (
+	// PacketLimited: the queue admits a fixed packet count.
+	PacketLimited LimitMode = iota
+	// ByteLimited: the queue admits a fixed byte volume.
+	ByteLimited
+)
+
+func (m LimitMode) String() string {
+	if m == ByteLimited {
+		return "bytes"
+	}
+	return "packets"
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m LimitMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *LimitMode) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "packets":
+		*m = PacketLimited
+	case "bytes":
+		*m = ByteLimited
+	default:
+		return fmt.Errorf("probe: unknown limit mode %q", text)
+	}
+	return nil
+}
+
+// Config parameterizes a probe run.
+type Config struct {
+	// Rate is the emulated service rate of the link draining the queue;
+	// required.
+	Rate units.BitRate
+	// PacketSize is the standard probe packet (default
+	// units.DefaultSegment).
+	PacketSize units.ByteSize
+	// SmallPacket is the second size used to discriminate packet- from
+	// byte-counted limits (default PacketSize/4).
+	SmallPacket units.ByteSize
+	// MaxFill caps a single fill's offered packets; a queue that never
+	// sustains rejection within it is reported as unlimited (default
+	// 32768).
+	MaxFill int
+	// SteadySteps is the length of the half-capacity steady phase in
+	// service slots (default 4096). It must span several RED averaging
+	// windows (1/Wq enqueues) and several CoDel intervals of simulated
+	// time for the classifier's signals to develop.
+	SteadySteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PacketSize == 0 {
+		c.PacketSize = units.DefaultSegment
+	}
+	if c.SmallPacket == 0 {
+		c.SmallPacket = c.PacketSize / 4
+	}
+	if c.MaxFill == 0 {
+		c.MaxFill = 32768
+	}
+	if c.SteadySteps == 0 {
+		c.SteadySteps = 4096
+	}
+	return c
+}
+
+// Estimate is the probe's inference, with the evidence behind it.
+type Estimate struct {
+	// CapacityPackets is the effective buffer size in standard probe
+	// packets; CapacityBytes is the same boundary in bytes (exact for a
+	// byte-counted limit, capacity x packet size otherwise).
+	CapacityPackets int
+	CapacityBytes   units.ByteSize
+	// Mode is the inferred limit unit; Policy the inferred discipline.
+	Mode   LimitMode
+	Policy Policy
+
+	// FillRatio is (small-packet fill) / (standard fill): ~1 for a
+	// packet-counted limit, ~PacketSize/SmallPacket for a byte-counted
+	// one.
+	FillRatio float64
+	// SojournLossFraction is the share of admitted packets never
+	// delivered — post-admission drops (CoDel's control law).
+	SojournLossFraction float64
+	// EarlyDropFraction is the share of steady-phase offers rejected
+	// while the queue sat near half capacity (RED's early drops).
+	EarlyDropFraction float64
+}
+
+// ErrNoLimit reports a fill that never sustained rejection: the queue is
+// effectively unlimited at the probe's scale.
+var ErrNoLimit = errors.New("probe: no buffer limit found within MaxFill packets")
+
+// fillConsecReject is how many consecutive rejections a fill treats as
+// "physically full". RED's early drops reset Floyd's count, so a run of
+// this length below the physical limit needs several independent
+// low-probability drops in a row.
+const fillConsecReject = 4
+
+// classifyThreshold is the evidence fraction above which a signal counts:
+// post-admission loss (CoDel) or below-capacity rejection (RED). Both
+// signatures produce percent-level fractions when present and exact
+// zeros when absent, so the threshold sits well clear of either side.
+const classifyThreshold = 0.005
+
+// run carries one probe's virtual clock and end-to-end accounting.
+type run struct {
+	q   BlackBox
+	cfg Config
+
+	now units.Time
+	seq int64
+
+	offered   int64
+	admitted  int64
+	delivered int64
+
+	// pending is the FIFO of admitted-but-not-yet-delivered sequence
+	// numbers — what a real receiver reconstructs from sequence gaps. A
+	// delivery that skips pending entries reveals post-admission drops,
+	// and len(pending) is the probe's live backlog estimate.
+	pending  []int64
+	gapDrops int64
+}
+
+// Run probes q and returns the inference. The queue should be empty; any
+// residue is drained first (and counts toward nothing).
+func Run(q BlackBox, cfg Config) (Estimate, error) {
+	if cfg.Rate <= 0 {
+		return Estimate{}, errors.New("probe: Config.Rate is required")
+	}
+	cfg = cfg.withDefaults()
+	r := &run{q: q, cfg: cfg, now: units.Epoch}
+	r.flush()
+
+	// Phase 1: capacity from a line-rate fill with standard packets.
+	capPkts, err := r.fill(cfg.PacketSize)
+	if err != nil {
+		return Estimate{}, err
+	}
+	r.drain(cfg.PacketSize)
+	r.idle()
+
+	// Phase 3: the same fill with small packets separates packet- from
+	// byte-counted limits.
+	capSmall, err := r.fill(cfg.SmallPacket)
+	if err != nil {
+		return Estimate{}, err
+	}
+	r.drain(cfg.SmallPacket)
+	r.idle()
+
+	// Phase 4: hold the queue near half capacity and watch for
+	// below-capacity rejections.
+	steadyOffers, steadyRejects := r.steady(capPkts)
+	r.drain(cfg.PacketSize)
+
+	est := Estimate{
+		CapacityPackets: capPkts,
+		CapacityBytes:   units.ByteSize(capPkts) * cfg.PacketSize,
+		FillRatio:       float64(capSmall) / float64(capPkts),
+	}
+	// A byte-counted limit admits more small packets in proportion to the
+	// size ratio; a packet-counted one admits the same count. The midpoint
+	// of the two predictions separates them.
+	sizeRatio := float64(cfg.PacketSize) / float64(cfg.SmallPacket)
+	if est.FillRatio > (1+sizeRatio)/2 {
+		est.Mode = ByteLimited
+	}
+	if r.admitted > 0 {
+		est.SojournLossFraction = float64(r.gapDrops) / float64(r.admitted)
+	}
+	if steadyOffers > 0 {
+		est.EarlyDropFraction = float64(steadyRejects) / float64(steadyOffers)
+	}
+	switch {
+	case est.SojournLossFraction > classifyThreshold:
+		est.Policy = PolicyCoDel
+	case est.EarlyDropFraction > classifyThreshold:
+		est.Policy = PolicyRED
+	default:
+		est.Policy = PolicyDropTail
+	}
+	return est, nil
+}
+
+// offer presents one packet of the given size at the current instant and
+// reports whether it was admitted.
+func (r *run) offer(size units.ByteSize) bool {
+	p := &packet.Packet{Flow: 1, Seq: r.seq, Size: size, Sent: r.now}
+	r.seq++
+	r.offered++
+	if r.q.Enqueue(p, r.now) {
+		r.admitted++
+		r.pending = append(r.pending, p.Seq)
+		return true
+	}
+	return false
+}
+
+// deliver reconciles one served packet against the pending FIFO: skipped
+// sequence numbers were admitted and then dropped inside the queue.
+func (r *run) deliver(p *packet.Packet) {
+	r.delivered++
+	for len(r.pending) > 0 {
+		s := r.pending[0]
+		r.pending = r.pending[1:]
+		if s == p.Seq {
+			return
+		}
+		r.gapDrops++
+	}
+}
+
+// fill offers a back-to-back burst until the queue rejects
+// fillConsecReject packets in a row, and returns how many packets the
+// queue is holding at that point (admitted and not yet served — the
+// capacity at this packet size).
+func (r *run) fill(size units.ByteSize) (int, error) {
+	held, consec := 0, 0
+	for attempts := 0; attempts < r.cfg.MaxFill; attempts++ {
+		if r.offer(size) {
+			held++
+			consec = 0
+			continue
+		}
+		if consec++; consec >= fillConsecReject {
+			return held, nil
+		}
+	}
+	return 0, ErrNoLimit
+}
+
+// drain serves the queue at the configured rate until it is empty,
+// counting deliveries and sequence gaps.
+func (r *run) drain(size units.ByteSize) {
+	per := units.TransmissionTime(size, r.cfg.Rate)
+	for {
+		r.now = r.now.Add(per)
+		p := r.q.Dequeue(r.now)
+		if p == nil {
+			r.gapDrops += int64(len(r.pending))
+			r.pending = r.pending[:0]
+			return
+		}
+		r.deliver(p)
+	}
+}
+
+// flush empties residue without counting it.
+func (r *run) flush() {
+	for r.q.Dequeue(r.now) != nil {
+	}
+}
+
+// idle advances the clock far enough for any averaged state (RED's EWMA
+// ages across idle periods) to decay before the next phase.
+func (r *run) idle() {
+	r.now = r.now.Add(60 * units.Second)
+}
+
+// steady holds the queue near half the measured capacity for
+// SteadySteps service slots: each slot tops the backlog estimate up to
+// the target (retrying, since an average-queue policy may reject) and
+// serves one packet. It returns the offers made and the rejections seen
+// — at half capacity a drop-tail queue rejects nothing, an
+// average-queue policy rejects at percent level, and a sojourn-time
+// policy keeps dropping after admission because the top-up never lets
+// the standing delay clear.
+func (r *run) steady(capPkts int) (offers, rejects int64) {
+	target := capPkts / 2
+	if target < 1 {
+		target = 1
+	}
+	per := units.TransmissionTime(r.cfg.PacketSize, r.cfg.Rate)
+	for step := 0; step < r.cfg.SteadySteps; step++ {
+		for attempt := 0; len(r.pending) < target && attempt < 2*target; attempt++ {
+			offers++
+			if !r.offer(r.cfg.PacketSize) {
+				rejects++
+			}
+		}
+		r.now = r.now.Add(per)
+		if p := r.q.Dequeue(r.now); p != nil {
+			r.deliver(p)
+		}
+	}
+	return offers, rejects
+}

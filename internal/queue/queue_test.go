@@ -420,6 +420,55 @@ func TestREDMarkECN(t *testing.T) {
 	}
 }
 
+func TestREDMarkThenTailDropAccounting(t *testing.T) {
+	// Regression: an ECT packet whose early-drop decision was converted to
+	// a CE mark can still be forced-tail-dropped at the physical limit. The
+	// mark must not survive that drop — previously the packet left Enqueue
+	// with CE set and Marked incremented despite never entering the queue.
+	q := NewRED(REDConfig{
+		Limit: PacketLimit(3), MinThresh: 0.5, MaxThresh: 1.5, MaxP: 1.0,
+		Wq: 1.0, MeanPacketTime: units.Millisecond, Rand: redRand(0.0),
+		MarkECN: true,
+	})
+	// Fill to the physical limit with ECT packets; with Wq=1 the average
+	// tracks the instantaneous length, so every admission past the first is
+	// an early-drop-turned-mark.
+	for i := int64(0); i < 3; i++ {
+		p := mkpkt(i, 100)
+		p.Flags |= packet.FlagECT
+		if !q.Enqueue(p, 0) {
+			t.Fatalf("ECT packet %d dropped while filling", i)
+		}
+	}
+	markedBefore := q.Marked
+	if markedBefore == 0 {
+		t.Fatal("setup failed: no packets were CE-marked during the fill")
+	}
+	// The queue is physically full: this ECT packet is early-"dropped"
+	// (avg >= MaxThresh), eligible for marking, then tail-dropped.
+	p := mkpkt(99, 100)
+	p.Flags |= packet.FlagECT
+	if q.Enqueue(p, 0) {
+		t.Fatal("packet admitted past the physical limit")
+	}
+	if p.Flags&packet.FlagCE != 0 {
+		t.Error("tail-dropped packet left Enqueue with CE set")
+	}
+	if q.Marked != markedBefore {
+		t.Errorf("Marked advanced %d -> %d on a dropped packet", markedBefore, q.Marked)
+	}
+	// Conservation: the Marked counter equals the CE packets actually queued.
+	marked := int64(0)
+	for q.Len() > 0 {
+		if q.Dequeue(0).Flags&packet.FlagCE != 0 {
+			marked++
+		}
+	}
+	if marked != q.Marked {
+		t.Errorf("CE packets in queue %d != Marked counter %d", marked, q.Marked)
+	}
+}
+
 func TestREDFIFOOrder(t *testing.T) {
 	cfg := DefaultRED(100, units.Millisecond, redRand(0.9999))
 	q := NewRED(cfg)

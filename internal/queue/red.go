@@ -118,20 +118,29 @@ func (r *RED) Enqueue(p *packet.Packet, now units.Time) bool {
 	default:
 		r.count = -1
 	}
-	// An early "drop" decision becomes a CE mark for ECN-capable packets.
+	// An early "drop" decision becomes a CE mark for ECN-capable packets —
+	// but the mark is only committed after the packet is admitted. A marked
+	// packet can still be forced-tail-dropped at the limit check below, and
+	// committing early would leave CE set (and Marked incremented) on a
+	// packet that never entered the queue.
+	mark := false
 	if drop && r.cfg.MarkECN && p.Flags&packet.FlagECT != 0 {
-		p.Flags |= packet.FlagCE
-		r.Marked++
+		mark = true
 		drop = false
 	}
 	if !drop && !r.cfg.Limit.admits(r.q.count, r.q.bytes, p.Size) {
 		drop = true // forced tail drop: buffer physically full
+		mark = false
 		r.count = 0
 	}
 	if drop {
 		r.stats.DroppedPackets++
 		r.stats.DroppedBytes += p.Size
 		return false
+	}
+	if mark {
+		p.Flags |= packet.FlagCE
+		r.Marked++
 	}
 	p.Enqueued = now
 	r.q.push(p)

@@ -58,10 +58,13 @@ func TestReadFlowsRejectsOutOfOrder(t *testing.T) {
 			t.Errorf("%s: error %q does not explain the ordering contract", name, err)
 		}
 	}
-	// ParseTrace keeps the legacy lenient behavior for old callers.
-	specs, err := ParseTrace(strings.NewReader("0.5,10\n0.1,4\n"))
-	if err != nil || len(specs) != 2 || specs[0].Size != 4 {
-		t.Errorf("ParseTrace legacy sort broke: %+v, %v", specs, err)
+	// ParseTrace shares the same contract: it used to silently re-sort,
+	// which is precisely the hazard this test pins against.
+	_, err := ParseTrace(strings.NewReader("0.5,10\n0.1,4\n"))
+	if err == nil {
+		t.Error("ParseTrace: out-of-order trace accepted")
+	} else if !strings.Contains(err.Error(), "ordered by start time") {
+		t.Errorf("ParseTrace: error %q does not explain the ordering contract", err)
 	}
 }
 

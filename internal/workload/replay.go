@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -29,19 +28,16 @@ type FlowSpec struct {
 //	start_seconds,size_segments
 //
 // (comments starting with '#' and blank lines are skipped; a header line
-// is tolerated). Rows may be in any order; the result is sorted by start
-// time.
+// is tolerated). Rows must be ordered by start time: a trace is a
+// timeline, and an out-of-order row means a corrupted or mis-merged
+// input, so ParseTrace reports it. It shares ReadFlows's CSV semantics
+// exactly — earlier revisions silently re-sorted out-of-order rows, which
+// hid exactly the corrupted inputs the ordering check exists to catch.
 //
-// Deprecated: use ReadFlows, which also accepts JSON flow records and
-// rejects out-of-order start times instead of silently reordering them.
-// ParseTrace is kept for callers that depend on the sorting behaviour.
+// Deprecated: use ReadFlows, which additionally accepts JSON flow
+// records.
 func ParseTrace(r io.Reader) ([]FlowSpec, error) {
-	specs, err := parseTraceCSV(r, false)
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(specs, func(i, j int) bool { return specs[i].Start < specs[j].Start })
-	return specs, nil
+	return parseTraceCSV(r, true)
 }
 
 // parseTraceCSV scans the two-column CSV trace form. With strict set,

@@ -11,8 +11,8 @@ import (
 func TestParseTrace(t *testing.T) {
 	in := `# flows exported from somewhere
 start_seconds,size_segments
-0.5,10
 0.1,4
+0.5,10
 
 2.25,100
 `
@@ -23,7 +23,6 @@ start_seconds,size_segments
 	if len(specs) != 3 {
 		t.Fatalf("specs = %+v", specs)
 	}
-	// Sorted by start.
 	if specs[0].Size != 4 || specs[1].Size != 10 || specs[2].Size != 100 {
 		t.Errorf("order wrong: %+v", specs)
 	}

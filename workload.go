@@ -93,8 +93,7 @@ func LoadProfile(r io.Reader) (Profile, error) { return profile.Load(r) }
 // ReadFlows reads a recorded flow trace for TraceWorkload/SimulateTrace,
 // sniffing the format: JSON ([{"start": "1.5s", "size": 30}, ...]) or
 // the legacy start_seconds,size_segments CSV. Records must be ordered
-// by start time; out-of-order rows are an error (unlike the deprecated
-// ParseTrace, which silently resorted them).
+// by start time; out-of-order rows are an error.
 func ReadFlows(r io.Reader) ([]TraceFlow, error) { return workload.ReadFlows(r) }
 
 // ArrivalRate converts an offered load (fraction of the link, in (0,1))
