@@ -5,7 +5,7 @@ GO  ?= go
 BIN := bin
 
 .PHONY: all build fmt-check lint vet test short race mutation fuzz-smoke \
-        bench-smoke golden bench bench-gate clean
+        bench-smoke golden bench bench-gate bench-scale bench-scale-gate clean
 
 all: build lint test
 
@@ -20,10 +20,10 @@ fmt-check:
 		exit 1; \
 	fi
 
-# lint builds the first-party vettool and runs its five analyzers
-# (simdeterminism, maporder, unitsafety, digestfield, eventcapture)
-# over the tree through go vet's unitchecker protocol. Blocking: any
-# finding fails the build. See DESIGN.md "Static analysis".
+# lint builds the first-party vettool and runs its six analyzers
+# (simdeterminism, maporder, unitsafety, digestfield, eventcapture,
+# shardsafety) over the tree through go vet's unitchecker protocol.
+# Blocking: any finding fails the build. See DESIGN.md "Static analysis".
 lint: $(BIN)/buflint
 	$(GO) vet -vettool=$(abspath $(BIN)/buflint) ./...
 
@@ -50,6 +50,7 @@ mutation:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzQueueConservation -fuzztime 30s ./internal/queue/
 	$(GO) test -run '^$$' -fuzz FuzzSchedulerInvariants -fuzztime 30s ./internal/sim/
+	$(GO) test -run '^$$' -fuzz FuzzFrontierMerge -fuzztime 30s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzClassifier -fuzztime 30s ./internal/probe/
 
 # bench-smoke only checks the benchmarks still compile and run one
@@ -72,7 +73,18 @@ bench:
 bench-gate:
 	GOMAXPROCS=1 $(GO) run ./bench -out BENCH_kernel_ci.json -gate BENCH_kernel.json
 
+# bench-scale regenerates the flows x shards scaling curve (plus the
+# fabric shape and the million-sender slab footprint) against the
+# checked-in BENCH_scale.json; bench-scale-gate fails if any cell's
+# events/sec fell more than 5% below it — the budget the sharded
+# engine's bookkeeping must fit within on a sequential run.
+bench-scale:
+	GOMAXPROCS=1 $(GO) run ./bench -scale -out BENCH_scale_ci.json -baseline BENCH_scale.json
+
+bench-scale-gate:
+	GOMAXPROCS=1 $(GO) run ./bench -scale -out BENCH_scale_ci.json -gate BENCH_scale.json
+
 clean:
-	rm -rf $(BIN) BENCH_kernel_ci.json
+	rm -rf $(BIN) BENCH_kernel_ci.json BENCH_scale_ci.json
 
 FORCE:

@@ -316,6 +316,7 @@ func (s Simulation) longLived(o options) experiment.LongLivedConfig {
 		Metrics:        o.metrics,
 		Audit:          o.audit,
 		Cache:          o.cache,
+		Shards:         o.shardCount(),
 	}
 }
 
@@ -394,6 +395,7 @@ func SimulateSingleFlow(link Link, bufferFactor float64, seed int64, opts ...Opt
 		Metrics:        o.metrics,
 		Audit:          o.audit,
 		Cache:          o.cache,
+		Shards:         o.shardCount(),
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -464,6 +466,7 @@ func SimulateShortFlows(cfg ShortFlowSimulation, opts ...Option) ShortFlowResult
 		Metrics:       o.metrics,
 		Audit:         o.audit,
 		Cache:         o.cache,
+		Shards:        o.shardCount(),
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -544,6 +547,7 @@ func SimulateMix(cfg MixSimulation, opts ...Option) MixResult {
 		Metrics:        o.metrics,
 		Audit:          o.audit,
 		Cache:          o.cache,
+		Shards:         o.shardCount(),
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant
@@ -627,6 +631,7 @@ func SimulateTrace(cfg TraceSimulation, opts ...Option) TraceResult {
 		Metrics:        o.metrics,
 		Audit:          o.audit,
 		Cache:          o.cache,
+		Shards:         o.shardCount(),
 	}
 	if o.variant != nil {
 		run.Variant = *o.variant

@@ -56,6 +56,12 @@ type AFCTComparisonConfig struct {
 	// MeanQueueIncludesWarmup reverts MeanQueue to averaging from t=0
 	// instead of the measurement window (see LongLivedConfig).
 	MeanQueueIncludesWarmup bool
+
+	// Shards requests sharded kernel execution (see LongLivedConfig.Shards).
+	// Mixed traffic is generator-driven, so the effective count is capped at
+	// two (see sharedGeneratorShards). An observer: excluded from the cache
+	// key, results bit-identical at every count.
+	Shards int
 }
 
 func (c AFCTComparisonConfig) withDefaults() AFCTComparisonConfig {
@@ -149,6 +155,10 @@ type MixedConfig struct {
 	// MeanQueueIncludesWarmup reverts MeanQueue to averaging from t=0
 	// instead of the measurement window (see LongLivedConfig).
 	MeanQueueIncludesWarmup bool
+
+	// Shards requests sharded kernel execution (see
+	// AFCTComparisonConfig.Shards).
+	Shards int
 }
 
 // RunMixed executes one mixed-traffic scenario.
@@ -172,6 +182,7 @@ func RunMixed(cfg MixedConfig) AFCTOutcome {
 		Measure:         cfg.Measure,
 		Audit:           cfg.Audit,
 		Cache:           cfg.Cache,
+		Shards:          cfg.Shards,
 
 		MeanQueueIncludesWarmup: cfg.MeanQueueIncludesWarmup,
 	}.withDefaults()
@@ -227,6 +238,10 @@ type TraceConfig struct {
 	// Cache, when non-nil, memoizes the replay's result (see
 	// LongLivedConfig.Cache).
 	Cache *runcache.Store
+
+	// Shards requests sharded kernel execution (see
+	// AFCTComparisonConfig.Shards).
+	Shards int
 }
 
 // TraceResult summarizes a replayed trace.
@@ -286,6 +301,7 @@ func runTrace(cfg TraceConfig) TraceResult {
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
 		Auditor:         cfg.Audit,
+		Shards:          sharedGeneratorShards(cfg.Shards),
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), false)
@@ -358,6 +374,7 @@ func runMixedUncached(cfg AFCTComparisonConfig, label string, buffer int, reg *m
 		RTTMin:          cfg.RTTMin,
 		RTTMax:          cfg.RTTMax,
 		Auditor:         cfg.Audit,
+		Shards:          sharedGeneratorShards(cfg.Shards),
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(buffer, cfg.SegmentSize, cfg.BottleneckRate, rng.Fork(), false)

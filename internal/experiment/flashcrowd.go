@@ -53,6 +53,10 @@ type ProfileRunConfig struct {
 	Metrics *metrics.Registry
 	Audit   *audit.Auditor
 	Cache   *runcache.Store
+
+	// Shards requests sharded kernel execution (see
+	// AFCTComparisonConfig.Shards).
+	Shards int
 }
 
 func (c ProfileRunConfig) withDefaults() ProfileRunConfig {
@@ -140,6 +144,7 @@ func runProfileUncached(cfg ProfileRunConfig) ProfileRunResult {
 		RTTMin:          cfg.MeanRTT * 6 / 10,
 		RTTMax:          cfg.MeanRTT * 14 / 10,
 		Auditor:         cfg.Audit,
+		Shards:          sharedGeneratorShards(cfg.Shards),
 	}
 	if cfg.UseRED {
 		topoCfg.NewQueue = redQueueHook(cfg.BufferPackets, cfg.SegmentSize, cfg.Rate, rng.Fork(), false)
@@ -241,6 +246,10 @@ type FlashCrowdConfig struct {
 	Resume      bool
 	Parallelism int
 	Ctx         context.Context
+
+	// Shards requests sharded kernel execution for every swept point
+	// (see AFCTComparisonConfig.Shards).
+	Shards int
 }
 
 func (c FlashCrowdConfig) withDefaults() FlashCrowdConfig {
@@ -383,6 +392,7 @@ func RunFlashCrowd(cfg FlashCrowdConfig) FlashCrowdTable {
 			Drain:         cfg.Drain,
 			Audit:         cfg.Audit,
 			Cache:         cfg.Cache,
+			Shards:        cfg.Shards,
 		})
 		out[k] = FlashCrowdRow{
 			Buffer:      buffer,
@@ -420,6 +430,7 @@ func RunFlashCrowd(cfg FlashCrowdConfig) FlashCrowdTable {
 				Drain:         cfg.Drain,
 				Metrics:       child,
 				Cache:         cfg.Cache,
+				Shards:        cfg.Shards,
 			})
 			cfg.Metrics.Merge(fmt.Sprintf("buffer=%d", r.Buffer), child)
 		}

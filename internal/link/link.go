@@ -46,6 +46,16 @@ type Link struct {
 	OnDequeue func(p *packet.Packet, queued units.Duration)
 	// OnDrop, if set, observes packets rejected by the queue.
 	OnDrop func(p *packet.Packet)
+
+	// DeliverVia, if set, routes each packet's arrival event to the shard
+	// that owns the far end of the wire (see sim.Target): propagation is
+	// scheduled on the returned target instead of self-posting opArrive,
+	// so the arrival fires in the destination's shard. The propagation
+	// delay doubles as the sharded kernel's lookahead, which is why a
+	// cross-shard link must have positive delay. An invalid target falls
+	// back to the self-post path. Delivery times and event order are
+	// identical either way — sharded and unsharded runs are bit-identical.
+	DeliverVia func(p *packet.Packet) sim.Target
 }
 
 // Link event opcodes (see sim.Actor).
@@ -151,6 +161,12 @@ func (l *Link) finishTransmit(p *packet.Packet) {
 
 	if l.delay == 0 {
 		l.dst.Handle(p)
+	} else if l.DeliverVia != nil {
+		if tg := l.DeliverVia(p); tg.Valid() {
+			l.sched.PostToAfter(l.delay, tg, opArrive, p)
+		} else {
+			l.sched.PostAfter(l.delay, l, opArrive, p)
+		}
 	} else {
 		l.sched.PostAfter(l.delay, l, opArrive, p)
 	}

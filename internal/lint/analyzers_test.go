@@ -18,9 +18,10 @@ func TestDigestField(t *testing.T) {
 	linttest.Run(t, lint.DigestField, "digestcfg", "profilecfg", "advcfg")
 }
 func TestEventCapture(t *testing.T) { linttest.Run(t, lint.EventCapture, "eventcap") }
+func TestShardSafety(t *testing.T)  { linttest.Run(t, lint.ShardSafety, "shardsafe") }
 
 // TestSuiteComplete pins the analyzer roster: the CI gate, the vettool
-// and the docs all promise these five checks.
+// and the docs all promise these six checks.
 func TestSuiteComplete(t *testing.T) {
 	want := map[string]bool{
 		"simdeterminism": true,
@@ -28,6 +29,7 @@ func TestSuiteComplete(t *testing.T) {
 		"unitsafety":     true,
 		"digestfield":    true,
 		"eventcapture":   true,
+		"shardsafety":    true,
 	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
@@ -81,6 +83,10 @@ func TestAppliesToScopes(t *testing.T) {
 		{lint.EventCapture, "bufsim/internal/experiment", true},
 		{lint.MapOrder, "bufsim/internal/experiment", true},
 		{lint.DigestField, "bufsim/internal/experiment", true},
+		{lint.ShardSafety, "bufsim/internal/queue", true},
+		{lint.ShardSafety, "bufsim/internal/tcp", true},
+		{lint.ShardSafety, "bufsim/internal/workload", true},
+		{lint.ShardSafety, "bufsim/internal/lint", false}, // the analyzer suite inspects itself otherwise
 	}
 	for _, c := range cases {
 		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {

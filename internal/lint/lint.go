@@ -16,6 +16,10 @@
 //     runcache digest or explicitly ignored.
 //   - eventcapture: hot paths use the pooled kernel's Actor dispatch,
 //     not closure posting, and never compare Event handles.
+//   - shardsafety: the cross-shard scheduling surface stays confined to
+//     the shard-aware layers, so the topology cut remains the only
+//     place events cross shards — the structural fact the sharded
+//     kernel's bit-identical equivalence proof rests on.
 //
 // The analyzers mirror the golang.org/x/tools/go/analysis API shape
 // (Analyzer, Pass, Diagnostic) but are built purely on the standard
@@ -107,6 +111,7 @@ func Analyzers() []*Analyzer {
 		UnitSafety,
 		DigestField,
 		EventCapture,
+		ShardSafety,
 	}
 }
 

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ShardSafety guards the sharded kernel's equivalence proof. The proof
+// that sharded and sequential runs are bit-identical rests on one
+// structural fact: the ONLY way state crosses an event shard is the
+// topology cut's ingress merge point. Every other component reads and
+// writes state owned by its own shard. The analyzer keeps that surface
+// from spreading:
+//
+//   - The cross-shard API — Scheduler.EnableShards, ShardView, PostToAt,
+//     PostToAfter, TargetFor, and the sim.Target type — may be used only
+//     by the shard-aware layers (internal/sim, which defines the engine;
+//     internal/topology, which owns the cut; and internal/link, whose
+//     wires carry the hand-off the cut configures). A queue, endpoint or
+//     workload package reaching for a Target would move state across
+//     shards outside the merge point, silently growing the surface the
+//     digest harness must prove equivalent.
+//   - EnableShards arguments that are compile-time constants must be
+//     valid: a shard count of at least 2 and a strictly positive
+//     conservative lookahead. Both are runtime panics; constants make
+//     them compile-time findings. This check applies everywhere,
+//     including the shard-aware layers.
+var ShardSafety = &Analyzer{
+	Name: "shardsafety",
+	Doc: "restrict the cross-shard scheduling surface (EnableShards, ShardView, PostToAt/PostToAfter, " +
+		"TargetFor, sim.Target) to the shard-aware layers, and reject constant EnableShards arguments " +
+		"that would panic at runtime; cross-shard hand-off belongs at the topology cut's merge point",
+	AppliesTo: func(pkgPath string) bool {
+		if pkgPath == "bufsim/internal/lint" {
+			return false
+		}
+		return pkgPath == "bufsim" || strings.HasPrefix(pkgPath, "bufsim/")
+	},
+	Run: runShardSafety,
+}
+
+// shardAwarePkgs are the packages allowed to touch the cross-shard
+// surface: the engine itself, the topology layer that owns the cut, and
+// the link layer that executes the hand-off the cut configures (a
+// link's DeliverVia hook posts arrivals to the far shard's ingress).
+var shardAwarePkgs = map[string]bool{
+	"bufsim/internal/sim":      true,
+	"bufsim/internal/topology": true,
+	"bufsim/internal/link":     true,
+}
+
+// crossShardMethods is the Scheduler surface that classifies or targets
+// events across shards.
+var crossShardMethods = map[string]bool{
+	"EnableShards": true,
+	"ShardView":    true,
+	"PostToAt":     true,
+	"PostToAfter":  true,
+	"TargetFor":    true,
+}
+
+func runShardSafety(pass *Pass) error {
+	shardAware := shardAwarePkgs[pass.PkgPath]
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCrossShardCall(pass, n, shardAware)
+			case *ast.Ident:
+				if !shardAware && isSimTargetUse(pass, n) {
+					pass.Reportf(n.Pos(), "sim.Target outside the shard-aware layers: cross-shard delivery belongs at the topology cut's ingress merge point")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCrossShardCall(pass *Pass, call *ast.CallExpr, shardAware bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !crossShardMethods[fn.Name()] || !isSchedulerMethod(fn) {
+		return
+	}
+	if !shardAware {
+		pass.Reportf(call.Pos(), "Scheduler.%s outside the shard-aware layers: only the kernel and the topology cut may move events across shards", fn.Name())
+		// The argument checks below still apply; a misplaced call can
+		// also carry bad constants.
+	}
+	if fn.Name() == "EnableShards" && len(call.Args) == 2 {
+		if v, ok := constInt(pass, call.Args[0]); ok && v < 2 {
+			pass.Reportf(call.Args[0].Pos(), "EnableShards with constant shard count %d: the engine needs at least 2 shards (this panics at runtime)", v)
+		}
+		if v, ok := constInt(pass, call.Args[1]); ok && v <= 0 {
+			pass.Reportf(call.Args[1].Pos(), "EnableShards with constant lookahead %d: the conservative window must be strictly positive (this panics at runtime)", v)
+		}
+	}
+}
+
+// isSchedulerMethod reports whether fn is a method on the sim package's
+// Scheduler.
+func isSchedulerMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Scheduler" && named.Obj().Pkg() != nil &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/sim")
+}
+
+// isSimTargetUse reports whether ident is a use of the sim.Target type
+// itself (declaration, composite literal, conversion, field type).
+func isSimTargetUse(pass *Pass, ident *ast.Ident) bool {
+	obj, ok := pass.Info.Uses[ident]
+	if !ok {
+		return false
+	}
+	tn, ok := obj.(*types.TypeName)
+	return ok && tn.Name() == "Target" && tn.Pkg() != nil &&
+		strings.HasSuffix(tn.Pkg().Path(), "internal/sim")
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}

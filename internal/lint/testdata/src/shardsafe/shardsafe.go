@@ -1,0 +1,63 @@
+// Package shardsafe is the shardsafety fixture: it plays a component
+// package OUTSIDE the shard-aware layers (sim, topology, link), so any
+// touch of the cross-shard scheduling surface is a violation, and
+// constant EnableShards arguments that would panic at runtime are
+// compile-time findings.
+package shardsafe
+
+import (
+	"bufsim/internal/sim"
+	"bufsim/internal/units"
+)
+
+const opDeliver = 1
+
+type component struct {
+	sched *sim.Scheduler
+}
+
+func (c *component) OnEvent(op int32, arg any) {}
+
+// Shard-local scheduling through the ordinary surface is fine: the
+// event's class is the scheduler view it was posted through.
+func (c *component) armLocal() {
+	c.sched.PostAfter(units.Second, c, opDeliver, nil)
+}
+
+// Reaching across the cut from a component package is not.
+func (c *component) reachAcross(k int) {
+	view := c.sched.ShardView(k) // want `Scheduler\.ShardView outside the shard-aware layers`
+	view.PostAfter(units.Second, c, opDeliver, nil)
+}
+
+func (c *component) aimAt(other *component) {
+	tg := c.sched.TargetFor(other)                        // want `Scheduler\.TargetFor outside the shard-aware layers`
+	c.sched.PostToAfter(units.Second, tg, opDeliver, nil) // want `Scheduler\.PostToAfter outside the shard-aware layers`
+}
+
+func (c *component) aimAtAbsolute(tg sim.Target, at units.Time) { // want `sim\.Target outside the shard-aware layers`
+	c.sched.PostToAt(at, tg, opDeliver, nil) // want `Scheduler\.PostToAt outside the shard-aware layers`
+}
+
+// Holding a Target in component state smuggles cross-shard reach into a
+// package that should be shard-local.
+type smuggler struct {
+	dst sim.Target // want `sim\.Target outside the shard-aware layers`
+}
+
+// Constant-argument validation fires alongside the placement finding:
+// these calls panic at runtime regardless of where they live.
+func enableBad(s *sim.Scheduler) {
+	s.EnableShards(1, units.Second) // want `Scheduler\.EnableShards outside the shard-aware layers` `EnableShards with constant shard count 1`
+	s.EnableShards(4, 0)            // want `Scheduler\.EnableShards outside the shard-aware layers` `EnableShards with constant lookahead 0`
+}
+
+func enableRuntimeSized(s *sim.Scheduler, n int, look units.Duration) {
+	// Non-constant arguments are the kernel's runtime checks to make.
+	s.EnableShards(n, look) // want `Scheduler\.EnableShards outside the shard-aware layers`
+}
+
+func suppressed(c *component, other *component) {
+	//lint:ignore shardsafety fixture: demonstrating an audited exception at the merge point
+	_ = c.sched.TargetFor(other)
+}

@@ -53,18 +53,48 @@ type Actor interface {
 // detected by generation counter, so Cancel and Active on it are safe.
 // The zero Event is a valid "no event" handle.
 type Event struct {
-	id  int32  // slot index + 1; 0 is the zero handle
+	id  int32  // arena<<arenaShift | slot index + 1; 0 is the zero handle
 	gen uint32 // slot generation this handle was issued for
 }
 
+// Handle encoding. The low 24 bits carry the slot index + 1 within an
+// arena; the bits above select the arena. Arena 0 is the scheduler's own
+// pool, so for an unsharded scheduler every handle keeps the historical
+// slot+1 form. Arena k+1 is shard k's local pool when sharding is enabled
+// (see shard.go). The 24-bit index bounds a sharded run to ~16.7M live
+// slots per arena; allocSlot panics past that rather than aliasing.
+const (
+	arenaShift = 24
+	idxMask    = 1<<arenaShift - 1
+)
+
+func handleFor(arena, idx int32) int32 { return arena<<arenaShift | (idx + 1) }
+func handleArena(id int32) int32       { return id >> arenaShift }
+func handleIdx(id int32) int32         { return id&idxMask - 1 }
+
+// slot.pos sentinels. Non-negative pos is the heap index while pending.
+// During a parallel window a slot seeded into a shard's local heap stores
+// posSeedBase-localIndex (always <= posSeedBase), so the owning shard can
+// remove it on cancel; posSeedFired / posSeedCancelled record how the
+// seed left the window until the barrier recycles it.
+const (
+	posFree          int32 = -1
+	posSeedFired     int32 = -2
+	posSeedCancelled int32 = -3
+	posSeedBase      int32 = -10
+)
+
 // slot is the pooled storage behind one scheduled event.
 type slot struct {
-	gen   uint32 // incremented on every recycle; stale handles mismatch
-	pos   int32  // index in the heap while pending, -1 otherwise
-	op    int32
-	actor Actor
-	arg   any
-	fn    func()
+	gen     uint32 // incremented on every recycle; stale handles mismatch
+	pos     int32  // index in the heap while pending, else a sentinel above
+	op      int32
+	shard   int32 // event class: owning shard, or globalClass (sequential)
+	backRef int32 // shard-local shell forwarded onto this slot (0 = none)
+	defc    bool  // cancelled mid-window; the barrier applies the removal
+	actor   Actor
+	arg     any
+	fn      func()
 }
 
 // entry is one pending-queue element. The ordering key (time, then
@@ -96,6 +126,15 @@ type Scheduler struct {
 	stopped    bool
 	aud        *audit.Auditor
 
+	// eng is non-nil once EnableShards has attached the parallel-window
+	// engine (shard.go). viewShard distinguishes the base scheduler
+	// (globalClass) from the per-shard views the engine issues; a view
+	// owns no heap of its own, it only routes through eng. Every public
+	// method guards the engine path behind one nil test, so the
+	// unsharded hot path is unchanged.
+	eng       *shardEngine
+	viewShard int32
+
 	// Processed counts the events executed so far; useful for
 	// benchmarking the kernel itself.
 	Processed uint64
@@ -106,24 +145,36 @@ func NewScheduler() *Scheduler {
 	return &Scheduler{}
 }
 
-// Now returns the current simulated time.
-func (s *Scheduler) Now() units.Time { return s.now }
+// Now returns the current simulated time: the base clock, or the owning
+// shard's local clock while a parallel window is executing.
+func (s *Scheduler) Now() units.Time {
+	if s.eng != nil {
+		return s.eng.nowFor(s.viewShard)
+	}
+	return s.now
+}
 
 // SetAuditor attaches an invariant checker to the kernel: every fired
-// event is checked for clock monotonicity and slot/heap cross-link
+// event is checked for clock monotonicity (per-shard plus merge-point
+// monotonicity when sharding is on) and slot/heap cross-link
 // consistency. A nil auditor (the default) disables the checks.
-func (s *Scheduler) SetAuditor(a *audit.Auditor) { s.aud = a }
+func (s *Scheduler) SetAuditor(a *audit.Auditor) { s.root().aud = a }
 
 // Pending returns the number of events waiting to fire.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int { return len(s.root().heap) }
 
-// MaxPending returns the deepest the event heap has been.
-func (s *Scheduler) MaxPending() int { return s.maxPending }
+// MaxPending returns the deepest the event heap has been. Under sharding
+// this is an approximation (per-shard peaks plus the base backlog), not
+// a globally-consistent snapshot.
+func (s *Scheduler) MaxPending() int { return s.root().maxPending }
 
 // Active reports whether e refers to an event that is still pending: not
 // yet fired, not cancelled, and not a recycled slot now owned by some
 // later event. The zero Event is never active.
 func (s *Scheduler) Active(e Event) bool {
+	if s.eng != nil {
+		return s.eng.active(e)
+	}
 	if e.id == 0 {
 		return false
 	}
@@ -134,6 +185,9 @@ func (s *Scheduler) Active(e Event) bool {
 // EventTime returns the instant a pending event is scheduled to fire, and
 // whether the handle is still active.
 func (s *Scheduler) EventTime(e Event) (units.Time, bool) {
+	if s.eng != nil {
+		return s.eng.eventTime(e)
+	}
 	if !s.Active(e) {
 		return 0, false
 	}
@@ -147,20 +201,28 @@ func (s *Scheduler) allocSlot() int32 {
 		s.free = s.free[:n-1]
 		return id
 	}
+	if s.eng != nil && len(s.slots) > idxMask-1 {
+		panic("sim: sharded scheduler exhausted its 24-bit slot index space")
+	}
 	s.slots = append(s.slots, slot{})
 	return int32(len(s.slots) - 1)
 }
 
 // release recycles a slot: the generation bump invalidates every
 // outstanding handle, and clearing the references lets fired payloads be
-// collected.
+// collected. A shard-local shell forwarded onto this slot dies with it.
 func (s *Scheduler) release(id int32) {
 	sl := &s.slots[id]
 	sl.gen++
-	sl.pos = -1
+	sl.pos = posFree
 	sl.actor = nil
 	sl.arg = nil
 	sl.fn = nil
+	sl.defc = false
+	if sl.backRef != 0 {
+		s.eng.releaseShell(sl.backRef)
+		sl.backRef = 0
+	}
 	s.free = append(s.free, id)
 }
 
@@ -169,6 +231,17 @@ func (s *Scheduler) release(id int32) {
 // component, and silently reordering time would corrupt every downstream
 // measurement.
 func (s *Scheduler) schedule(t units.Time, fn func(), a Actor, op int32, arg any) Event {
+	if s.eng != nil {
+		return s.eng.scheduleFrom(s.viewShard, t, fn, a, op, arg, s.viewShard)
+	}
+	return s.scheduleBase(t, fn, a, op, arg, globalClass)
+}
+
+// scheduleBase inserts into the base heap with the next global sequence
+// number, stamping the slot with its event class. It runs only in
+// sequential contexts (unsharded runs, setup code between Run calls, and
+// the engine's sequential cohorts) — never inside a parallel window.
+func (s *Scheduler) scheduleBase(t units.Time, fn func(), a Actor, op int32, arg any, shard int32) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
@@ -178,12 +251,16 @@ func (s *Scheduler) schedule(t units.Time, fn func(), a Actor, op int32, arg any
 	sl.actor = a
 	sl.op = op
 	sl.arg = arg
+	sl.shard = shard
 	i := len(s.heap)
 	s.heap = append(s.heap, entry{at: t, seq: s.seq, slot: id})
 	s.seq++
 	s.siftUp(i)
 	if len(s.heap) > s.maxPending {
 		s.maxPending = len(s.heap)
+	}
+	if shard == globalClass && s.eng != nil {
+		s.eng.noteGlobal(t, id, sl.gen)
 	}
 	return Event{id: id + 1, gen: sl.gen}
 }
@@ -198,7 +275,7 @@ func (s *Scheduler) After(d units.Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.schedule(s.now.Add(d), fn, nil, 0, nil)
+	return s.schedule(s.Now().Add(d), fn, nil, 0, nil)
 }
 
 // PostAt schedules a typed event: at time t the kernel calls
@@ -213,7 +290,7 @@ func (s *Scheduler) PostAfter(d units.Duration, a Actor, op int32, arg any) Even
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.schedule(s.now.Add(d), nil, a, op, arg)
+	return s.schedule(s.Now().Add(d), nil, a, op, arg)
 }
 
 // Cancel removes a pending event. Cancelling the zero handle, an event
@@ -221,12 +298,22 @@ func (s *Scheduler) PostAfter(d units.Duration, a Actor, op int32, arg any) Even
 // been recycled by a later event is a no-op, so callers can cancel
 // unconditionally.
 func (s *Scheduler) Cancel(e Event) {
+	if s.eng != nil {
+		s.eng.cancel(s.viewShard, e)
+		return
+	}
 	if e.id == 0 {
 		return
 	}
-	id := e.id - 1
+	s.cancelBase(e.id-1, e.gen)
+}
+
+// cancelBase removes a pending arena-0 event by slot index if the handle
+// generation still matches. It is the legacy cancel body, shared with the
+// engine's barrier (which resolves forwarded handles down to base slots).
+func (s *Scheduler) cancelBase(id int32, gen uint32) {
 	sl := &s.slots[id]
-	if sl.gen != e.gen || sl.pos < 0 {
+	if sl.gen != gen || sl.pos < 0 {
 		return
 	}
 	s.removeAt(int(sl.pos))
@@ -304,6 +391,22 @@ func (s *Scheduler) siftDown(i int) {
 	s.slots[e.slot].pos = int32(i)
 }
 
+// popRoot removes and returns the heap minimum, restoring heap order.
+func (s *Scheduler) popRoot() entry {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	if last > 0 {
+		moved := s.heap[last]
+		s.heap = s.heap[:last]
+		s.heap[0] = moved
+		s.slots[moved.slot].pos = 0
+		s.siftDown(0)
+	} else {
+		s.heap = s.heap[:0]
+	}
+	return top
+}
+
 // fire pops the earliest event, advances the clock and dispatches it. The
 // slot is recycled before dispatch, so the handler is free to schedule
 // (possibly reusing the very slot that just fired).
@@ -319,16 +422,7 @@ func (s *Scheduler) fire() {
 				"heap root references slot %d with pos %d (stale or recycled slot about to fire)", top.slot, sl.pos)
 		}
 	}
-	last := len(s.heap) - 1
-	if last > 0 {
-		moved := s.heap[last]
-		s.heap = s.heap[:last]
-		s.heap[0] = moved
-		s.slots[moved.slot].pos = 0
-		s.siftDown(0)
-	} else {
-		s.heap = s.heap[:0]
-	}
+	s.popRoot()
 	sl := &s.slots[top.slot]
 	fn, actor, op, arg := sl.fn, sl.actor, sl.op, sl.arg
 	s.release(top.slot)
@@ -349,25 +443,41 @@ func (s *Scheduler) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
+	r := s.root()
 	events := reg.Counter("sim.events_processed")
 	depth := reg.Gauge("sim.heap_depth")
 	depthMax := reg.Gauge("sim.heap_depth_max")
 	clock := reg.Gauge("sim.time_seconds")
 	reg.OnCollect(func() {
-		events.Set(int64(s.Processed))
-		depth.Set(float64(len(s.heap)))
-		depthMax.Set(float64(s.maxPending))
-		clock.Set(s.now.Seconds())
+		events.Set(int64(r.Processed))
+		depth.Set(float64(len(r.heap)))
+		depthMax.Set(float64(r.maxPending))
+		clock.Set(r.now.Seconds())
 	})
 }
 
 // Stop makes Run return after the event currently executing completes.
-func (s *Scheduler) Stop() { s.stopped = true }
+// Under sharding the granularity is one window: the current window
+// finishes and merges before Run returns.
+func (s *Scheduler) Stop() {
+	if s.eng != nil {
+		s.eng.base.stopped = true
+		return
+	}
+	s.stopped = true
+}
 
 // Run executes events in order until the clock would pass `until`, no
 // events remain, or Stop is called. The clock is left at `until` (or at
 // the last event time if the queue drained first and that is earlier).
 func (s *Scheduler) Run(until units.Time) {
+	if s.eng != nil {
+		if s.viewShard != globalClass {
+			panic("sim: Run called on a shard view")
+		}
+		s.eng.run(until)
+		return
+	}
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
 		if s.heap[0].at > until {
@@ -381,8 +491,12 @@ func (s *Scheduler) Run(until units.Time) {
 }
 
 // Step executes exactly one event if any is pending and returns whether an
-// event was executed. Useful in tests.
+// event was executed. Useful in tests. Not available under sharding,
+// where execution advances a window at a time.
 func (s *Scheduler) Step() bool {
+	if s.eng != nil {
+		panic("sim: Step is not available on a sharded scheduler")
+	}
 	if len(s.heap) == 0 {
 		return false
 	}
@@ -437,6 +551,9 @@ func (s *Scheduler) VerifyInvariants() error {
 	}
 	if len(s.heap)+len(s.free) != len(s.slots) {
 		return fmt.Errorf("sim: %d pending + %d free != %d slots", len(s.heap), len(s.free), len(s.slots))
+	}
+	if s.eng != nil {
+		return s.eng.verify()
 	}
 	return nil
 }

@@ -35,7 +35,7 @@ func TestCubicReducesByBeta(t *testing.T) {
 		t.Errorf("wMax = %v, below the window at drop time %v", cc.wMax, before)
 	}
 	want := cc.wMax * cubicBeta
-	if got := cc.ssthresh; got < want*0.99 || got > want*1.01 {
+	if got := cc.Ssthresh(); got < want*0.99 || got > want*1.01 {
 		t.Errorf("ssthresh after loss = %v, want %v (W_max %v x beta %v)", got, want, cc.wMax, cubicBeta)
 	}
 	if st := c.snd.Stats(); st.FastRecoveries != 1 {

@@ -98,9 +98,9 @@ func TestCongestionAvoidanceLinearGrowth(t *testing.T) {
 	c.snd.Start()
 	c.sched.Run(units.Time(30 * units.Millisecond))
 	// Force CA from a known point (default variant: Reno).
-	cc := c.snd.cc.(*renoCC)
-	cc.ssthresh = 4
-	cc.cwnd = 4
+	sl, row := c.snd.StateSlab()
+	sl.ssthresh[row] = 4
+	sl.cwnd[row] = 4
 	start := c.snd.Cwnd()
 	// Over the next RTT, cwnd should grow by ~1 segment.
 	c.sched.Run(units.Time(50 * units.Millisecond))
@@ -207,7 +207,7 @@ func TestTimeoutRecovery(t *testing.T) {
 	c.sched.Run(units.Time(30 * units.Second))
 	if !c.snd.Finished() {
 		t.Fatalf("flow did not recover from blackout: una=%d nxt=%d stats=%+v",
-			c.snd.sndUna, c.snd.sndNxt, c.snd.Stats())
+			c.snd.SndUna(), c.snd.SndNxt(), c.snd.Stats())
 	}
 	if st := c.snd.Stats(); st.Timeouts == 0 {
 		t.Errorf("expected at least one timeout, got %+v", st)
@@ -229,8 +229,8 @@ func TestTimeoutSetsCwndToOne(t *testing.T) {
 	if got := c.snd.Cwnd(); got != 1 {
 		t.Errorf("cwnd after timeout = %v, want 1", got)
 	}
-	if c.snd.sndNxt != c.snd.sndUna+1 {
-		t.Errorf("timeout did not go-back-N: una=%d nxt=%d", c.snd.sndUna, c.snd.sndNxt)
+	if c.snd.SndNxt() != c.snd.SndUna()+1 {
+		t.Errorf("timeout did not go-back-N: una=%d nxt=%d", c.snd.SndUna(), c.snd.SndNxt())
 	}
 }
 

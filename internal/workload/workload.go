@@ -92,13 +92,17 @@ func StartLongLived(d *topology.Dumbbell, n int, spec tcp.Config, rng *sim.RNG, 
 	sched := d.Config().Sched
 	flows := make([]*topology.Flow, 0, n)
 	for i := 0; i < n; i++ {
-		f := d.AddFlow(d.Station(i%d.NumStations()), spec)
+		st := d.Station(i % d.NumStations())
+		f := d.AddFlow(st, spec)
 		flows = append(flows, f)
 		at := sched.Now()
 		if stagger > 0 {
 			at = at.Add(units.Duration(rng.Uniform(0, float64(stagger))))
 		}
-		sched.PostAt(at, f.Sender, tcp.OpStart, nil)
+		// Start through the station's view: the start is shard-classified
+		// work, so a sharded run fires it inside the station's window
+		// instead of forcing a global barrier per flow.
+		st.Sched().PostAt(at, f.Sender, tcp.OpStart, nil)
 	}
 	return flows
 }
@@ -250,8 +254,11 @@ func (g *ShortFlows) launch() {
 		rec.Completed = now
 		g.active--
 		// Defer the detach so the final ACK still reaches the sender
-		// (the sender needs it to cancel its RTO and finish).
-		g.sched.PostAfter(f.Station.RTT, g, opDetach, f)
+		// (the sender needs it to cancel its RTO and finish). The post
+		// goes through the station's view: completion fires in the
+		// station's shard, where a base-scheduler post would be illegal
+		// inside a parallel window.
+		f.Station.Sched().PostAfter(f.Station.RTT, g, opDetach, f)
 	}
 	f.Sender.Start()
 }

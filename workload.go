@@ -229,6 +229,7 @@ func SimulateProfile(cfg ProfileSimulation, opts ...Option) ProfileResult {
 		Metrics:       o.metrics,
 		Audit:         o.audit,
 		Cache:         o.cache,
+		Shards:        o.shardCount(),
 	}
 	if o.red != nil {
 		run.UseRED = *o.red
