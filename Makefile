@@ -20,10 +20,12 @@ fmt-check:
 		exit 1; \
 	fi
 
-# lint builds the first-party vettool and runs its six analyzers
+# lint builds the first-party vettool and runs its nine analyzers
 # (simdeterminism, maporder, unitsafety, digestfield, eventcapture,
-# shardsafety) over the tree through go vet's unitchecker protocol.
-# Blocking: any finding fails the build. See DESIGN.md "Static analysis".
+# shardsafety, shardownership, slabescape, rngconfinement) over the
+# tree — including cmd/buflint and internal/lint themselves — through
+# go vet's unitchecker protocol. Blocking: any finding fails the build,
+# and so does a stale //lint:ignore. See DESIGN.md "Static analysis".
 lint: $(BIN)/buflint
 	$(GO) vet -vettool=$(abspath $(BIN)/buflint) ./...
 

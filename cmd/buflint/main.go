@@ -1,6 +1,7 @@
 // Buflint is the simulator's vettool: it assembles the internal/lint
 // analyzers (simdeterminism, maporder, unitsafety, digestfield,
-// eventcapture) into a binary that speaks the `go vet -vettool`
+// eventcapture, shardsafety, shardownership, slabescape,
+// rngconfinement) into a binary that speaks the `go vet -vettool`
 // unitchecker protocol, built entirely on the standard library.
 //
 // Usage:
@@ -17,16 +18,22 @@
 // buflint type-checks from that and reports findings in the standard
 // file:line:col form, exiting 2 when there are any. In standalone mode
 // buflint loads packages itself from source, which needs no build cache
-// but re-type-checks dependencies on every run.
+// but re-type-checks dependencies on every run. Standalone -json emits
+// one object with every finding (position, analyzer, message, stable
+// fingerprint) plus per-analyzer wall-time so the blocking CI lint
+// job's budget is observable.
 //
 // Intentional exceptions are suppressed in source with
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// on, or immediately above, the offending line.
+// on, or immediately above, the offending line. A directive whose
+// finding no longer fires is itself an error (lintstale): the
+// suppression count can only shrink.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -34,7 +41,12 @@ import (
 	"bufsim/internal/lint"
 )
 
-const version = "buflint version v1.0.0"
+// version keys go vet's action cache: bump it whenever any analyzer's
+// behavior changes so cached "clean" verdicts are invalidated. v2 is the
+// dataflow engine: flow-aware simdeterminism, shardownership,
+// slabescape, rngconfinement, fingerprints and stale-suppression
+// checking.
+const version = "buflint version v2.0.0"
 
 func main() {
 	args := os.Args[1:]
@@ -71,11 +83,14 @@ func main() {
 		runVetMode(rest[0], jsonOut)
 		return
 	}
-	runStandalone(rest)
+	runStandalone(rest, jsonOut)
 }
 
-// runStandalone loads packages from source and prints findings.
-func runStandalone(patterns []string) {
+// runStandalone loads packages from source and prints findings; with
+// -json it emits findings (with fingerprints) and per-analyzer timings
+// as one JSON object on stdout. Exit status 2 signals findings in both
+// forms.
+func runStandalone(patterns []string, jsonOut bool) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -84,16 +99,61 @@ func runStandalone(patterns []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	findings, err := lint.Run(mod, patterns, lint.Analyzers())
+	findings, timings, err := lint.RunTimed(mod, patterns, lint.Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s\n", f)
+	if jsonOut {
+		emitStandaloneJSON(findings, timings)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s\n", f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "buflint: %d finding(s)\n", len(findings))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "buflint: %d finding(s)\n", len(findings))
 		os.Exit(2)
+	}
+}
+
+// emitStandaloneJSON writes the standalone report: every finding with
+// its stable fingerprint, plus each analyzer's aggregate wall time.
+func emitStandaloneJSON(findings []lint.Finding, timings []lint.AnalyzerTiming) {
+	type jsonFinding struct {
+		Posn        string `json:"posn"`
+		Analyzer    string `json:"analyzer"`
+		Message     string `json:"message"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	type jsonTiming struct {
+		Analyzer string  `json:"analyzer"`
+		Millis   float64 `json:"ms"`
+	}
+	out := struct {
+		Findings []jsonFinding `json:"findings"`
+		Timings  []jsonTiming  `json:"timings"`
+	}{Findings: []jsonFinding{}}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			Posn:        f.Position.String(),
+			Analyzer:    f.Analyzer,
+			Message:     f.Message,
+			Fingerprint: f.Fingerprint,
+		})
+	}
+	for _, t := range timings {
+		out.Timings = append(out.Timings, jsonTiming{
+			Analyzer: t.Analyzer,
+			Millis:   float64(t.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

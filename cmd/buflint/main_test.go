@@ -1,9 +1,11 @@
 package main_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -190,5 +192,210 @@ func TestVetToolProtocol(t *testing.T) {
 	cmd.Dir = clean
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+// stubSim is a miniature bufsim/internal/sim for synthetic modules: the
+// new analyzers match types by package-path suffix and name, so a stub
+// with the right shapes exercises them without the real kernel.
+const stubSim = `package sim
+
+type Event struct{ id int32 }
+
+type Target struct{ shard int32 }
+
+type Actor interface{ OnEvent(op int32, arg any) }
+
+type Scheduler struct{ shards int }
+
+func (s *Scheduler) EnableShards(n int, lookahead int64)                     { s.shards = n }
+func (s *Scheduler) ShardView(k int) *Scheduler                              { return s }
+func (s *Scheduler) ShardCount() int                                         { return s.shards }
+func (s *Scheduler) TargetFor(a Actor) Target                                { return Target{} }
+func (s *Scheduler) PostAfter(d int64, a Actor, op int32, arg any) Event     { return Event{} }
+func (s *Scheduler) PostToAfter(d int64, tg Target, op int32, arg any) Event { return Event{} }
+func (s *Scheduler) Cancel(e Event)                                          {}
+
+type RNG struct{ state uint64 }
+
+func NewRNG(seed int64) *RNG    { return &RNG{state: uint64(seed)} }
+func (g *RNG) Fork() *RNG       { return &RNG{state: g.state*6364136223846793005 + 1} }
+func (g *RNG) Float64() float64 { return float64(g.state) }
+`
+
+// shardViolations plants one shardownership and one rngconfinement
+// finding in a shard-aware package (so shardsafety stays quiet).
+const shardViolations = `package topology
+
+import "bufsim/internal/sim"
+
+type probe struct{ hits int }
+
+func (p *probe) OnEvent(op int32, arg any) {}
+
+// DoubleBind schedules one probe through two shard views.
+func DoubleBind(s *sim.Scheduler, p *probe) {
+	v0 := s.ShardView(0)
+	v1 := s.ShardView(1)
+	v0.PostAfter(5, p, 1, nil)
+	v1.PostAfter(5, p, 1, nil)
+}
+
+// ShardCountDraw draws only in sharded runs.
+func ShardCountDraw(s *sim.Scheduler, g *sim.RNG) float64 {
+	if s.ShardCount() > 1 {
+		return g.Float64()
+	}
+	return 0
+}
+`
+
+// slabViolations plants one slabescape finding in internal/tcp.
+const slabViolations = `package tcp
+
+type Slab struct {
+	cwnd []float64
+}
+
+func (sl *Slab) addRow() int32 {
+	sl.cwnd = append(sl.cwnd, 0)
+	return int32(len(sl.cwnd) - 1)
+}
+
+// Stale holds an element pointer across growth.
+func Stale(sl *Slab) float64 {
+	p := &sl.cwnd[0]
+	sl.addRow()
+	return *p
+}
+`
+
+func writeV2Module(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod":                   "module bufsim\n\ngo 1.22\n",
+		"internal/sim/sim.go":      stubSim,
+		"internal/topology/cut.go": shardViolations,
+		"internal/tcp/slab.go":     slabViolations,
+	})
+}
+
+// TestStandaloneDataflowAnalyzers plants exactly one violation for each
+// of the dataflow analyzers (shardownership, rngconfinement,
+// slabescape) in a synthetic module and asserts the exit status and the
+// three diagnostics.
+func TestStandaloneDataflowAnalyzers(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeV2Module(t)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("exit code = %d, want 2\n%s", code, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "buflint: 3 finding(s)") {
+		t.Errorf("want exactly 3 findings, got:\n%s", text)
+	}
+	for _, want := range []string{
+		"p crosses shard views: bound to ShardView(0), now scheduled through ShardView(1)",
+		"RNG draw g.Float64 is control-dependent on the shard count (ShardCount)",
+		"p aliases a tcp.Slab column and is used after a call that can reach addRow",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing diagnostic %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestStandaloneJSON checks the -json report: every finding carries a
+// 16-hex-digit fingerprint and the timing block names all nine
+// analyzers, so the CI budget is observable.
+func TestStandaloneJSON(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeV2Module(t)
+
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = mod
+	out, err := cmd.Output() // stdout only; exit 2 is expected
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2, got %v", err)
+	}
+	var report struct {
+		Findings []struct {
+			Posn        string `json:"posn"`
+			Analyzer    string `json:"analyzer"`
+			Message     string `json:"message"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"findings"`
+		Timings []struct {
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"ms"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, out)
+	}
+	if len(report.Findings) != 3 {
+		t.Fatalf("findings = %d, want 3\n%s", len(report.Findings), out)
+	}
+	fp := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for _, f := range report.Findings {
+		if !fp.MatchString(f.Fingerprint) {
+			t.Errorf("finding %q has malformed fingerprint %q", f.Message, f.Fingerprint)
+		}
+		if seen[f.Fingerprint] {
+			t.Errorf("duplicate fingerprint %s", f.Fingerprint)
+		}
+		seen[f.Fingerprint] = true
+	}
+	timed := map[string]bool{}
+	for _, tm := range report.Timings {
+		if tm.Millis < 0 {
+			t.Errorf("analyzer %s has negative timing %v", tm.Analyzer, tm.Millis)
+		}
+		timed[tm.Analyzer] = true
+	}
+	for _, name := range []string{
+		"simdeterminism", "maporder", "unitsafety", "digestfield", "eventcapture",
+		"shardsafety", "shardownership", "slabescape", "rngconfinement",
+	} {
+		if !timed[name] {
+			t.Errorf("timings missing analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestStaleSuppressionFails: a //lint:ignore whose finding no longer
+// fires is itself reported, so dead suppressions cannot accumulate.
+func TestStaleSuppressionFails(t *testing.T) {
+	bin := buildTool(t, t.TempDir())
+	mod := writeModule(t, map[string]string{
+		"go.mod": "module bufsim\n\ngo 1.22\n",
+		"tiny.go": `package bufsim
+
+// Stamp no longer reads the clock, but the directive lingers.
+func Stamp() int64 {
+	//lint:ignore simdeterminism leftover: the wall read below was removed
+	return 42
+}
+`,
+	})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2 for stale directive, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "stale //lint:ignore simdeterminism directive") {
+		t.Errorf("missing lintstale diagnostic:\n%s", out)
 	}
 }

@@ -139,18 +139,21 @@ func (mi mappedImporter) Import(path string) (*types.Package, error) {
 }
 
 // emitJSON mirrors unitchecker's -json shape:
-// {"pkgpath": {"analyzer": [{posn, message}, ...]}}. go vet merges these
-// blobs across packages; JSON mode reports and exits 0.
+// {"pkgpath": {"analyzer": [{posn, message}, ...]}}, extended with each
+// finding's stable fingerprint. go vet merges these blobs across
+// packages; JSON mode reports and exits 0.
 func emitJSON(pkgPath string, findings []lint.Finding) {
 	type jsonDiag struct {
-		Posn    string `json:"posn"`
-		Message string `json:"message"`
+		Posn        string `json:"posn"`
+		Message     string `json:"message"`
+		Fingerprint string `json:"fingerprint,omitempty"`
 	}
 	byAnalyzer := make(map[string][]jsonDiag)
 	for _, f := range findings {
 		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
-			Posn:    f.Position.String(),
-			Message: f.Message,
+			Posn:        f.Position.String(),
+			Message:     f.Message,
+			Fingerprint: f.Fingerprint,
 		})
 	}
 	out := map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}

@@ -287,7 +287,6 @@ func runTrace(cfg TraceConfig) TraceResult {
 	if cfg.BufferPackets > 0 {
 		limit = queue.PacketLimit(cfg.BufferPackets)
 	}
-	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
@@ -360,7 +359,6 @@ func runMixedOnce(cfg AFCTComparisonConfig, label string, buffer int, reg *metri
 
 // runMixedUncached is the uncached body of runMixedOnce.
 func runMixedUncached(cfg AFCTComparisonConfig, label string, buffer int, reg *metrics.Registry) AFCTOutcome {
-	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)

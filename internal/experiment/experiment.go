@@ -201,7 +201,6 @@ func sharedGeneratorShards(n int) int {
 // runLongLived is the uncached body of RunLongLived; cfg has defaults
 // applied.
 func runLongLived(cfg LongLivedConfig) LongLivedResult {
-	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)

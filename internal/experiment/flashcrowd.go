@@ -126,7 +126,6 @@ func RunProfile(cfg ProfileRunConfig) ProfileRunResult {
 // topology, generator) matches runShortFlowAFCT step for step so a
 // stationary source reproduces it draw for draw.
 func runProfileUncached(cfg ProfileRunConfig) ProfileRunResult {
-	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)

@@ -210,7 +210,6 @@ func ShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
 // runShortFlowAFCT is the uncached body of ShortFlowAFCT; cfg has
 // defaults applied.
 func runShortFlowAFCT(cfg ShortFlowRunConfig) (units.Duration, int, int) {
-	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)

@@ -114,7 +114,6 @@ func RunSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
 // runSingleFlow is the uncached body of RunSingleFlow; cfg has defaults
 // applied.
 func runSingleFlow(cfg SingleFlowConfig) SingleFlowResult {
-	//lint:ignore simdeterminism wall-clock here feeds only the telemetry registry, never a result
 	wallStart := time.Now()
 	sched := sim.NewScheduler()
 	bdp := units.PacketsInFlight(cfg.BottleneckRate, cfg.RTT, cfg.SegmentSize)

@@ -111,7 +111,6 @@ func runSweep(spec sweepSpec, n int, point func(i int)) error {
 	if spec.cache != nil {
 		before = spec.cache.Stats()
 	}
-	//lint:ignore simdeterminism wall-clock sweep timing is observer telemetry; every point's result is pure (config, seed)
 	start := time.Now()
 	durations := make([]time.Duration, n)
 
@@ -129,10 +128,8 @@ func runSweep(spec sweepSpec, n int, point func(i int)) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				//lint:ignore simdeterminism per-point wall timing is observer telemetry; the point itself is pure (config, seed)
 				t0 := time.Now()
 				point(i)
-				//lint:ignore simdeterminism per-point wall timing is observer telemetry; the point itself is pure (config, seed)
 				durations[i] = time.Since(t0)
 				man.MarkDone(i)
 			}
@@ -179,7 +176,6 @@ func publishSweepStats(spec sweepSpec, n, resumed int, durations []time.Duration
 	reg.Counter("sweep.points_total").Add(int64(n))
 	reg.Counter("sweep.points_run").Add(int64(completed))
 	reg.Counter("sweep.points_resumed").Add(int64(resumed))
-	//lint:ignore simdeterminism wall-clock gauge is observer telemetry, never a result
 	reg.Gauge("sweep.wall_seconds").Set(time.Since(start).Seconds())
 	if completed > 0 {
 		reg.Gauge("sweep.point_wall_seconds_mean").Set(sum.Seconds() / float64(completed))

@@ -47,7 +47,6 @@ func observeWallTime(reg *metrics.Registry, start time.Time, sched *sim.Schedule
 	if reg == nil {
 		return
 	}
-	//lint:ignore simdeterminism this helper exists to publish wall-clock telemetry; it never feeds a result
 	wall := time.Since(start).Seconds()
 	reg.Gauge("sim.wall_seconds").Set(wall)
 	if s := sched.Now().Seconds(); s > 0 {

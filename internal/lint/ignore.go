@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -17,20 +18,22 @@ const ignorePrefix = "//lint:ignore"
 
 type ignoreDirective struct {
 	analyzers map[string]bool
-	line      int // line the directive appears on
+	line      int       // line the directive appears on
+	pos       token.Pos // directive position, for staleness findings
+	hits      int       // diagnostics this directive suppressed in this run
 }
 
 type ignoreIndex struct {
 	fset *token.FileSet
 	// byFile maps filename -> directives in that file.
-	byFile map[string][]ignoreDirective
+	byFile map[string][]*ignoreDirective
 	// malformed collects positions of directives missing a reason or an
 	// analyzer list.
 	malformed []token.Pos
 }
 
 func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
-	idx := &ignoreIndex{fset: fset, byFile: make(map[string][]ignoreDirective)}
+	idx := &ignoreIndex{fset: fset, byFile: make(map[string][]*ignoreDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -56,9 +59,10 @@ func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 						names[n] = true
 					}
 				}
-				idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], ignoreDirective{
+				idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], &ignoreDirective{
 					analyzers: names,
 					line:      pos.Line,
+					pos:       c.Pos(),
 				})
 			}
 		}
@@ -67,15 +71,64 @@ func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 }
 
 // suppressed reports whether a diagnostic from the named analyzer at pos
-// is covered by a directive.
+// is covered by a directive, and credits the directive with the hit for
+// the staleness check.
 func (idx *ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
 	for _, d := range idx.byFile[pos.Filename] {
 		if !d.analyzers[analyzer] {
 			continue
 		}
 		if pos.Line == d.line || pos.Line == d.line+1 {
+			d.hits++
 			return true
 		}
 	}
 	return false
+}
+
+// stale returns the directives that suppressed nothing even though every
+// analyzer they name ran — dead weight that hides the next real finding
+// at that line. Directives naming an analyzer outside the run set are
+// skipped (a single-analyzer run can't judge them), as are directives in
+// _test.go files (test diagnostics are dropped before suppression, so
+// they never record hits).
+func (idx *ignoreIndex) stale(ran map[string]bool) []*ignoreDirective {
+	files := make([]string, 0, len(idx.byFile))
+	for file := range idx.byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	var out []*ignoreDirective
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		for _, d := range idx.byFile[file] {
+			if d.hits > 0 {
+				continue
+			}
+			covered := true
+			for name := range d.analyzers {
+				if !ran[name] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// names renders the directive's analyzer list deterministically.
+func (d *ignoreDirective) names() string {
+	out := make([]string, 0, len(d.analyzers))
+	for n := range d.analyzers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
 }

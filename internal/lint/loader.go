@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Module is one root the loader can resolve import paths under. A Module
@@ -43,6 +44,12 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+
+	// Tags are extra build tags honored when selecting files, so tests
+	// can load deliberately seeded mutations (e.g. the shardmutation
+	// cross-shard bug) that normal builds exclude. Set before the first
+	// Load; the loader memoizes per instance.
+	Tags []string
 }
 
 // NewLoader returns a loader resolving imports under the given modules.
@@ -96,7 +103,9 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if !ok {
 		return nil, fmt.Errorf("lint: import path %q is outside every registered module", path)
 	}
-	bp, err := build.Default.ImportDir(dir, 0)
+	bctx := build.Default
+	bctx.BuildTags = append(append([]string(nil), bctx.BuildTags...), l.Tags...)
+	bp, err := bctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %v", path, err)
 	}
@@ -267,22 +276,41 @@ func ExpandPatterns(mod Module, patterns []string) ([]string, error) {
 // Run loads every package matched by patterns under the module and runs
 // the analyzers, returning all surviving findings sorted by position.
 func Run(mod Module, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunTimed(mod, patterns, analyzers)
+	return findings, err
+}
+
+// RunTimed is Run plus per-analyzer wall time aggregated across all
+// loaded packages, in suite order.
+func RunTimed(mod Module, patterns []string, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming, error) {
 	paths, err := ExpandPatterns(mod, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	loader := NewLoader(mod)
 	var findings []Finding
+	total := make(map[string]time.Duration)
+	var order []string
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		fs, err := RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.PkgPath, analyzers)
+		fs, ts, err := RunAnalyzersTimed(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.PkgPath, analyzers)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		findings = append(findings, fs...)
+		for _, t := range ts {
+			if _, ok := total[t.Analyzer]; !ok {
+				order = append(order, t.Analyzer)
+			}
+			total[t.Analyzer] += t.Elapsed
+		}
 	}
-	return findings, nil
+	timings := make([]AnalyzerTiming, 0, len(order))
+	for _, name := range order {
+		timings = append(timings, AnalyzerTiming{Analyzer: name, Elapsed: total[name]})
+	}
+	return findings, timings, nil
 }

@@ -247,8 +247,14 @@ func exprString(e ast.Expr) string {
 		return exprString(e.X) + "." + e.Sel.Name
 	case *ast.IndexExpr:
 		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
 	case *ast.StarExpr:
 		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
 	default:
 		return "expression"
 	}

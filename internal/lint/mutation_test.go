@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"bufsim/internal/lint"
+)
+
+// TestSeededMutationDetected loads the deliberately seeded cross-shard
+// ownership bug in internal/topology (build tag "shardmutation",
+// excluded from every normal build) and demands that shardownership
+// reports it: the analyzer proves itself against the real tree, not
+// just against fixtures. Without the tag the package must stay clean —
+// the same source the digest harness actually runs.
+func TestSeededMutationDetected(t *testing.T) {
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pkg = "bufsim/internal/topology"
+	analyzers := []*lint.Analyzer{lint.ShardOwnership}
+
+	load := func(tags ...string) []lint.Finding {
+		t.Helper()
+		loader := lint.NewLoader(mod)
+		loader.Tags = tags
+		p, err := loader.Load(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := lint.RunAnalyzers(p.Fset, p.Files, p.Types, p.Info, p.PkgPath, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findings
+	}
+
+	if clean := load(); len(clean) != 0 {
+		t.Fatalf("topology without the mutation should be clean, got %v", clean)
+	}
+
+	seeded := load("shardmutation")
+	found := false
+	for _, f := range seeded {
+		if f.Analyzer == "shardownership" &&
+			strings.Contains(f.Message, "crosses shard views") &&
+			strings.Contains(f.Position.Filename, "shardmutation.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shardownership did not report the seeded cross-shard mutation; findings: %v", seeded)
+	}
+}

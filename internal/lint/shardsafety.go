@@ -2,7 +2,7 @@ package lint
 
 import (
 	"go/ast"
-	"go/constant"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -26,16 +26,16 @@ import (
 //     valid: a shard count of at least 2 and a strictly positive
 //     conservative lookahead. Both are runtime panics; constants make
 //     them compile-time findings. This check applies everywhere,
-//     including the shard-aware layers.
+//     including the shard-aware layers, and sees through single-
+//     assignment locals via the dataflow engine's def-use constant
+//     propagation (n := 1; s.EnableShards(n, ...) is the same finding
+//     as the literal).
 var ShardSafety = &Analyzer{
 	Name: "shardsafety",
 	Doc: "restrict the cross-shard scheduling surface (EnableShards, ShardView, PostToAt/PostToAfter, " +
 		"TargetFor, sim.Target) to the shard-aware layers, and reject constant EnableShards arguments " +
 		"that would panic at runtime; cross-shard hand-off belongs at the topology cut's merge point",
 	AppliesTo: func(pkgPath string) bool {
-		if pkgPath == "bufsim/internal/lint" {
-			return false
-		}
 		return pkgPath == "bufsim" || strings.HasPrefix(pkgPath, "bufsim/")
 	},
 	Run: runShardSafety,
@@ -63,11 +63,27 @@ var crossShardMethods = map[string]bool{
 
 func runShardSafety(pass *Pass) error {
 	shardAware := shardAwarePkgs[pass.PkgPath]
+	// Def-use flows per function, built lazily: only EnableShards calls
+	// need constant propagation through single-assignment locals.
+	flows := make(map[*ast.FuncDecl]*funcFlow)
+	flowAt := func(pos token.Pos) *funcFlow {
+		for _, fd := range funcDecls(pass.Files) {
+			if pos >= fd.Pos() && pos < fd.End() {
+				ff, ok := flows[fd]
+				if !ok {
+					ff = newFuncFlow(pass, flowSpec{}, fd)
+					flows[fd] = ff
+				}
+				return ff
+			}
+		}
+		return nil
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				checkCrossShardCall(pass, n, shardAware)
+				checkCrossShardCall(pass, n, shardAware, flowAt)
 			case *ast.Ident:
 				if !shardAware && isSimTargetUse(pass, n) {
 					pass.Reportf(n.Pos(), "sim.Target outside the shard-aware layers: cross-shard delivery belongs at the topology cut's ingress merge point")
@@ -79,7 +95,7 @@ func runShardSafety(pass *Pass) error {
 	return nil
 }
 
-func checkCrossShardCall(pass *Pass, call *ast.CallExpr, shardAware bool) {
+func checkCrossShardCall(pass *Pass, call *ast.CallExpr, shardAware bool, flowAt func(token.Pos) *funcFlow) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -94,10 +110,11 @@ func checkCrossShardCall(pass *Pass, call *ast.CallExpr, shardAware bool) {
 		// also carry bad constants.
 	}
 	if fn.Name() == "EnableShards" && len(call.Args) == 2 {
-		if v, ok := constInt(pass, call.Args[0]); ok && v < 2 {
+		ff := flowAt(call.Pos())
+		if v, ok := constIntArg(pass, ff, call.Args[0]); ok && v < 2 {
 			pass.Reportf(call.Args[0].Pos(), "EnableShards with constant shard count %d: the engine needs at least 2 shards (this panics at runtime)", v)
 		}
-		if v, ok := constInt(pass, call.Args[1]); ok && v <= 0 {
+		if v, ok := constIntArg(pass, ff, call.Args[1]); ok && v <= 0 {
 			pass.Reportf(call.Args[1].Pos(), "EnableShards with constant lookahead %d: the conservative window must be strictly positive (this panics at runtime)", v)
 		}
 	}
@@ -129,17 +146,4 @@ func isSimTargetUse(pass *Pass, ident *ast.Ident) bool {
 	tn, ok := obj.(*types.TypeName)
 	return ok && tn.Name() == "Target" && tn.Pkg() != nil &&
 		strings.HasSuffix(tn.Pkg().Path(), "internal/sim")
-}
-
-// constInt evaluates e as a compile-time integer constant.
-func constInt(pass *Pass, e ast.Expr) (int64, bool) {
-	tv, ok := pass.Info.Types[e]
-	if !ok || tv.Value == nil {
-		return 0, false
-	}
-	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
-	if !exact {
-		return 0, false
-	}
-	return v, true
 }

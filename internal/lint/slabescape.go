@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SlabEscape guards the struct-of-arrays sender state: tcp.Slab's
+// columns are append-grown by addRow, and append reallocation silently
+// invalidates every interior pointer (&sl.cwnd[i]) and subslice
+// (sl.srtt[i:j]) taken before the growth. Reading an element copies and
+// is always safe; what must not happen is an *alias of the backing
+// array* living across anything that can grow it. The analyzer tags
+// column aliases with the dataflow engine and reports any alias that
+// (a) is used after a call that can reach addRow through the static
+// call graph, or (b) escapes the function entirely — a return, a store
+// into a struct or global, a channel send, or an argument handed to a
+// callee that can grow the slab.
+//
+// The columns are unexported, so aliases are only constructible inside
+// package tcp; the analyzer runs there (and on fixture packages named
+// internal/tcp).
+var SlabEscape = &Analyzer{
+	Name: "slabescape",
+	Doc: "pointers and subslices into tcp.Slab columns must not be retained across " +
+		"any call that can reach Slab.addRow: append reallocation invalidates them",
+	AppliesTo: func(pkgPath string) bool { return pkgPathMatches(pkgPath, "internal/tcp") },
+	Run:       runSlabEscape,
+}
+
+// isSlabColumn reports whether sel reads a slice-typed field of
+// tcp.Slab — a column of the struct-of-arrays.
+func isSlabColumn(pass *Pass, sel *ast.SelectorExpr) bool {
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return typeIsNamed(tv.Type, "internal/tcp", "Slab")
+}
+
+// slabSource tags expressions that alias column storage: the bare
+// column selector evaluated as a value (copying the slice header), and
+// — via the aliasOfIndex propagation — &col[i] and col[i:j].
+func slabSource(pass *Pass, e ast.Expr) []tag {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !isSlabColumn(pass, sel) {
+		return nil
+	}
+	return []tag{{kind: "slab", key: posKey(pass, e.Pos())}}
+}
+
+var slabFlowSpec = flowSpec{
+	source: slabSource,
+	// Indexing extracts a scalar copy — safe, so no throughIndex — but
+	// element addresses and subslices alias the backing array.
+	aliasOfIndex:          true,
+	throughContainerStore: false,
+}
+
+func runSlabEscape(pass *Pass) error {
+	cg := buildCallGraph(pass)
+	isAddRow := func(fn *types.Func) bool {
+		if fn.Name() != "addRow" {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		return typeIsNamed(sig.Recv().Type(), "internal/tcp", "Slab")
+	}
+	// mayGrow: can this call reach addRow? Static callees are resolved
+	// through the call graph; dynamic calls (interface methods, func
+	// values) inside the slab's own package are conservatively assumed
+	// able to grow it.
+	mayGrow := func(call *ast.CallExpr) bool {
+		if isBuiltinAny(pass, call) || isTypeConversion(pass, call) {
+			return false
+		}
+		callee := staticCallee(pass, call)
+		if callee == nil {
+			return true
+		}
+		if callee.Pkg() == nil || callee.Pkg().Path() != pass.Pkg.Path() {
+			// A foreign callee cannot name the unexported addRow.
+			return false
+		}
+		return cg.reaches(callee, isAddRow)
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		checkSlabEscapeFunc(pass, fd, mayGrow, isAddRow)
+	}
+	return nil
+}
+
+func isBuiltinAny(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func checkSlabEscapeFunc(pass *Pass, fd *ast.FuncDecl, mayGrow func(*ast.CallExpr) bool, isAddRow func(*types.Func) bool) {
+	// addRow itself (and any method that grows columns in place) writes
+	// append results back into the columns; that is the sanctioned
+	// mutation, not an escape.
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && isAddRow(fn) {
+		return
+	}
+	ff := newFuncFlow(pass, slabFlowSpec, fd)
+	ff.solve()
+
+	// End positions of calls that can grow the slab, in source order: a
+	// use is "after" a growing call once the call is complete, so the
+	// call's own arguments don't count.
+	var growPos []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && mayGrow(call) {
+			growPos = append(growPos, call.End())
+		}
+		return true
+	})
+	sort.Slice(growPos, func(i, j int) bool { return growPos[i] < growPos[j] })
+	growBetween := func(a, b token.Pos) bool {
+		i := sort.Search(len(growPos), func(i int) bool { return growPos[i] > a })
+		return i < len(growPos) && growPos[i] < b
+	}
+
+	// First definition position of each slab-tagged local.
+	defPos := make(map[*types.Var]token.Pos)
+	for _, e := range ff.edges {
+		if len(ff.vars[e.dst]) == 0 {
+			continue
+		}
+		if p, ok := defPos[e.dst]; !ok || e.rhs.Pos() < p {
+			defPos[e.dst] = e.rhs.Pos()
+		}
+	}
+
+	// aliasTagged: the expression both carries a slab tag and has a type
+	// that can actually alias storage. Dereferencing an element pointer
+	// (*p) yields a scalar copy — safe even though the flow descends
+	// through it.
+	aliasTagged := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || !aliasCapable(tv.Type) {
+			return false
+		}
+		return hasKind(ff.exprTags(e), "slab")
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.Ident:
+			// A use of a slab-tagged local after an addRow-reaching call
+			// that follows its definition.
+			v, ok := pass.Info.Uses[s].(*types.Var)
+			if !ok || !aliasCapable(v.Type()) {
+				return true
+			}
+			dp, ok := defPos[v]
+			if !ok || !hasKind(ff.vars[v], "slab") {
+				return true
+			}
+			if s.Pos() > dp && growBetween(dp, s.Pos()) {
+				pass.Reportf(s.Pos(), "%s aliases a tcp.Slab column and is used after a call that can reach addRow; append reallocation leaves it pointing into the old array", s.Name)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if aliasTagged(r) {
+					pass.Reportf(r.Pos(), "returning %s, an alias into a tcp.Slab column: the caller would hold it across future addRow growth", exprString(r))
+				}
+			}
+		case *ast.SendStmt:
+			if aliasTagged(s.Value) {
+				pass.Reportf(s.Value.Pos(), "sending %s, an alias into a tcp.Slab column, across a channel: the receiver would hold it across future addRow growth", exprString(s.Value))
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs == nil || !aliasTagged(rhs) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if l.Name == "_" || ff.localVar(l) != nil {
+						continue // local retention is checked at later uses
+					}
+					pass.Reportf(lhs.Pos(), "storing %s, an alias into a tcp.Slab column, in %s: the alias outlives this call frame and addRow growth invalidates it", exprString(rhs), exprString(lhs))
+				case *ast.SelectorExpr:
+					if isSlabColumn(pass, l) {
+						continue // writing a column back into the slab (append growth)
+					}
+					pass.Reportf(lhs.Pos(), "storing %s, an alias into a tcp.Slab column, in %s: the alias outlives this call frame and addRow growth invalidates it", exprString(rhs), exprString(lhs))
+				default:
+					pass.Reportf(lhs.Pos(), "storing %s, an alias into a tcp.Slab column, in %s: the alias outlives this call frame and addRow growth invalidates it", exprString(rhs), exprString(lhs))
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinAny(pass, s) || isTypeConversion(pass, s) {
+				return true
+			}
+			callee := staticCallee(pass, s)
+			grows := mayGrow(s)
+			for _, arg := range s.Args {
+				if !aliasTagged(arg) {
+					continue
+				}
+				if callee == nil {
+					pass.Reportf(arg.Pos(), "passing %s, an alias into a tcp.Slab column, through dynamic dispatch: the callee may retain it across addRow growth", exprString(arg))
+				} else if grows {
+					pass.Reportf(arg.Pos(), "passing %s, an alias into a tcp.Slab column, to a call that can reach addRow: the callee may grow the column while holding it", exprString(arg))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasCapable reports whether a value of type t can alias backing
+// storage: pointers and slices.
+func aliasCapable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func hasKind(ts tagSet, kind string) bool {
+	for t := range ts {
+		if t.kind == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+// Package tcp is the slabescape fixture: a miniature struct-of-arrays
+// Slab whose columns grow through addRow, mirroring the real sender
+// slab. Element reads and writes copy scalars and are always safe;
+// what must not happen is an alias of a column's backing array —
+// &col[i], col[i:j], or the column slice itself — surviving anything
+// that can grow the column.
+package tcp
+
+type Slab struct {
+	cwnd []float64
+	srtt []float64
+}
+
+func (sl *Slab) addRow() int32 {
+	sl.cwnd = append(sl.cwnd, 0)
+	sl.srtt = append(sl.srtt, 0)
+	return int32(len(sl.cwnd) - 1)
+}
+
+// grow reaches addRow transitively: the static call graph sees through
+// the indirection.
+func (sl *Slab) grow() { sl.addRow() }
+
+type sender struct {
+	sl  *Slab
+	row int32
+	cw  *float64
+}
+
+// onAck is the blessed access pattern: element reads and writes copy
+// scalars in and out, no alias of the backing array survives.
+func (s *sender) onAck() {
+	s.sl.cwnd[s.row] += 1
+	v := s.sl.srtt[s.row]
+	_ = v
+}
+
+// useAfterGrow holds an element pointer across growth.
+func useAfterGrow(sl *Slab) float64 {
+	p := &sl.cwnd[0]
+	sl.grow()
+	return *p // want `p aliases a tcp\.Slab column and is used after a call that can reach addRow`
+}
+
+// window returns a subslice of a column: the caller would hold it
+// across the next growth.
+func window(sl *Slab, i, j int32) []float64 {
+	return sl.srtt[i:j] // want `returning sl\.srtt\[\.\.\.\], an alias into a tcp\.Slab column`
+}
+
+var stash *float64
+
+// storeGlobal parks an element pointer in package state.
+func storeGlobal(sl *Slab) {
+	stash = &sl.cwnd[0] // want `storing &sl\.cwnd\[\.\.\.\], an alias into a tcp\.Slab column, in stash`
+}
+
+// cache stores the alias in longer-lived struct state.
+func (s *sender) cache() {
+	s.cw = &s.sl.cwnd[s.row] // want `storing &s\.sl\.cwnd\[\.\.\.\], an alias into a tcp\.Slab column, in s\.cw`
+}
+
+// handOff passes an alias to a callee that can grow the slab.
+func handOff(sl *Slab) {
+	p := &sl.srtt[0]
+	consume(sl, p) // want `passing p, an alias into a tcp\.Slab column, to a call that can reach addRow`
+}
+
+func consume(sl *Slab, p *float64) {
+	sl.addRow()
+	_ = *p
+}
+
+// publish hands an alias to dynamic dispatch: the analyzer cannot see
+// whether the callee grows or retains, so it refuses.
+func publish(sl *Slab, f func(*float64)) {
+	f(&sl.cwnd[0]) // want `passing &sl\.cwnd\[\.\.\.\], an alias into a tcp\.Slab column, through dynamic dispatch`
+}
+
+// sendAlias ships a column header across a channel.
+func sendAlias(sl *Slab, ch chan []float64) {
+	ch <- sl.cwnd // want `sending sl\.cwnd, an alias into a tcp\.Slab column, across a channel`
+}
+
+// scratch uses the alias only before growth: fine.
+func scratch(sl *Slab) {
+	p := &sl.cwnd[0]
+	*p = 2
+	sl.grow()
+}
+
+// snapshot copies the element before growth: a scalar copy is not an
+// alias.
+func snapshot(sl *Slab) float64 {
+	v := sl.cwnd[0]
+	sl.grow()
+	return v
+}
+
+// pinned demonstrates the audited escape hatch.
+func pinned(sl *Slab) *float64 {
+	//lint:ignore slabescape fixture: caller re-derives the pointer after every growth
+	return &sl.cwnd[0]
+}

@@ -57,6 +57,13 @@ func enableRuntimeSized(s *sim.Scheduler, n int, look units.Duration) {
 	s.EnableShards(n, look) // want `Scheduler\.EnableShards outside the shard-aware layers`
 }
 
+// Constant propagation through a single-assignment local: the dataflow
+// engine sees n is always 1, so this is the literal's finding too.
+func enableConstLocal(s *sim.Scheduler, look units.Duration) {
+	n := 1
+	s.EnableShards(n, look) // want `Scheduler\.EnableShards outside the shard-aware layers` `EnableShards with constant shard count 1`
+}
+
 func suppressed(c *component, other *component) {
 	//lint:ignore shardsafety fixture: demonstrating an audited exception at the merge point
 	_ = c.sched.TargetFor(other)

@@ -1,0 +1,21 @@
+//go:build shardmutation
+
+package topology
+
+import "bufsim/internal/sim"
+
+// seedCrossShardAlias is a deliberately seeded shard-ownership bug,
+// compiled only under the shardmutation build tag: one ingress actor is
+// scheduled through two different shard views, so both shards would
+// dispatch into its state — exactly the aliasing the sharded
+// equivalence proof forbids outside the PostToAt/PostToAfter frontier.
+// Normal builds never see this file; the lint test suite loads it with
+// the tag on and asserts the shardownership analyzer reports it.
+func (d *Dumbbell) seedCrossShardAlias() (sim.Event, sim.Event) {
+	home := d.cfg.Sched.ShardView(1)
+	away := d.cfg.Sched.ShardView(0)
+	in := &ingressActor{next: d.R2}
+	e1 := home.PostAfter(d.lookahead(), in, 0, nil)
+	e2 := away.PostAfter(d.lookahead(), in, 0, nil)
+	return e1, e2
+}
